@@ -1,0 +1,116 @@
+// Ablation bench (beyond the paper's tables): isolates the design
+// decisions documented in DESIGN.md / README by re-running the T = 24 ms
+// search with each mechanism disabled or swapped:
+//
+//   A. full LightNAS configuration (reference);
+//   B. lambda clamped at zero (KKT inequality instead of the paper's
+//      equality) — the search never climbs up to T from below;
+//   C. no augmented-Lagrangian damping (mu = 0, the paper's literal
+//      Eq 10) — same fixed point, more oscillation at the end;
+//   D. LUT predictor inside the search loop instead of the MLP — the
+//      ~10 ms systematic bias makes the engine steer against a wrong
+//      target unless the LUT is debiased;
+//   E. no best-from-trace selection — take the literal last epoch.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/lightnas.hpp"
+#include "predictors/lut_predictor.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace lightnas;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  core::LightNasConfig config;
+  const predictors::HardwarePredictor* predictor = nullptr;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("ablation_lightnas",
+                "design-choice ablations at T = 24 ms (extension; not a "
+                "paper artifact)");
+  bench::Pipeline pipeline;
+  auto mlp = bench::train_latency_predictor(pipeline);
+  const predictors::LutPredictor lut(pipeline.space, pipeline.device);
+
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = bench::scaled(16384, 4096);
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+
+  core::LightNasConfig base;
+  base.target = 24.0;
+  if (bench::fast_mode()) {
+    base.epochs = 24;
+    base.warmup_epochs = 8;
+    base.w_steps_per_epoch = 24;
+    base.alpha_steps_per_epoch = 16;
+  }
+
+  std::vector<Variant> variants;
+  variants.push_back({"A. full (reference)", base, mlp.get()});
+  {
+    // B: clamp is not exposed on the config (the paper's equality view
+    // is the default); emulate by starting lambda high and using a tiny
+    // rate, which can only decay toward — never below — zero pressure.
+    // Instead we approximate the inequality regime by disabling the
+    // negative-lambda reward: initialize at 0 with a tiny rate so lambda
+    // stays ~0 whenever LAT < T.
+    core::LightNasConfig c = base;
+    c.lambda_lr = 1e-6;
+    variants.push_back({"B. lambda frozen at ~0 (no ascent)", c, mlp.get()});
+  }
+  {
+    core::LightNasConfig c = base;
+    c.penalty_mu = 0.0;
+    variants.push_back({"C. no quadratic damping (mu=0)", c, mlp.get()});
+  }
+  variants.push_back({"D. LUT predictor in the loop", base, &lut});
+  {
+    core::LightNasConfig c = base;
+    c.select_best_from_trace = false;
+    variants.push_back({"E. last-epoch selection", c, mlp.get()});
+  }
+
+  util::Table table({"variant", "pred cost (ms)", "measured (ms)",
+                     "|measured-24|/24 (%)", "final lambda"});
+  for (const Variant& variant : variants) {
+    std::vector<double> measured;
+    double pred = 0.0, lambda = 0.0;
+    for (std::uint64_t seed : {3ull, 9ull}) {
+      core::LightNasConfig config = variant.config;
+      config.seed = seed;
+      core::LightNas engine(pipeline.space, *variant.predictor, task,
+                            core::SupernetConfig{}, config);
+      const core::SearchResult result = engine.search();
+      measured.push_back(pipeline.cost().network_latency_ms(
+          pipeline.space, result.architecture));
+      pred = result.final_predicted_cost;
+      lambda = result.final_lambda;
+    }
+    const double mean_measured = util::mean(measured);
+    table.add_row({variant.name, util::fmt_double(pred, 2),
+                   util::fmt_double(mean_measured, 2),
+                   util::fmt_double(
+                       std::abs(mean_measured - 24.0) / 24.0 * 100.0, 1),
+                   util::fmt_double(lambda, 3)});
+    std::printf("%s done\n", variant.name.c_str());
+  }
+  std::printf("\n");
+  table.print(std::cout);
+
+  std::printf(
+      "\nExpected: A tracks the target best. B cannot rise to T from the\n"
+      "fast initialization (constraint mechanism disabled). C reaches T\n"
+      "on average but with a worse final-epoch gap. D inherits the LUT's\n"
+      "bias: it steers the *predicted* cost to T, so the measured cost\n"
+      "lands ~bias below it. E is A without the oscillation guard.\n");
+  return 0;
+}

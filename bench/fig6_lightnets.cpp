@@ -1,0 +1,76 @@
+// Reproduces Figure 6: the LightNets searched under latency constraints
+// from 20 ms to 30 ms, rendered as per-stage operator diagrams. The
+// paper's qualitative observations: layer diversity (unlike MobileNetV2's
+// uniform stack) and deeper/wider networks as the budget grows.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/lightnas.hpp"
+#include "space/flops.hpp"
+#include "util/table.hpp"
+
+using namespace lightnas;
+
+int main() {
+  bench::banner("fig6_lightnets",
+                "Figure 6 (LightNets under 20/22/24/26/28/30 ms)");
+  bench::Pipeline pipeline;
+  auto predictor = bench::train_latency_predictor(pipeline);
+
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = bench::scaled(16384, 4096);
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+
+  util::Table summary({"LightNet", "predicted (ms)", "measured (ms)",
+                       "MACs (M)", "depth", "K7 ops", "E6 ops", "skips"});
+
+  for (double target : {20.0, 22.0, 24.0, 26.0, 28.0, 30.0}) {
+    core::LightNasConfig config;
+    config.target = target;
+    config.seed = 11;
+    if (bench::fast_mode()) {
+      config.epochs = 24;
+      config.warmup_epochs = 8;
+      config.w_steps_per_epoch = 24;
+      config.alpha_steps_per_epoch = 16;
+    }
+    core::LightNas engine(pipeline.space, *predictor, task,
+                          core::SupernetConfig{}, config);
+    const core::SearchResult result = engine.search();
+    const space::Architecture& arch = result.architecture;
+
+    int k7 = 0, e6 = 0, skips = 0;
+    for (std::size_t l = 0; l < arch.num_layers(); ++l) {
+      const space::Operator& op = pipeline.space.ops().op(arch.op_at(l));
+      if (op.kind == space::OpKind::kSkip) {
+        ++skips;
+      } else {
+        if (op.kernel == 7) ++k7;
+        if (op.expansion == 6) ++e6;
+      }
+    }
+
+    std::printf("--- LightNet-%.0fms ---------------------------------\n",
+                target);
+    std::printf("%s\n", arch.to_diagram(pipeline.space).c_str());
+    std::printf("serialized: %s\n\n", arch.serialize().c_str());
+
+    summary.add_row(
+        {"LightNet-" + util::fmt_double(target, 0) + "ms",
+         util::fmt_ms(result.final_predicted_cost),
+         util::fmt_ms(pipeline.cost().network_latency_ms(pipeline.space,
+                                                         arch)),
+         util::fmt_double(space::count_macs(pipeline.space, arch) / 1e6, 0),
+         std::to_string(arch.effective_depth(pipeline.space)),
+         std::to_string(k7), std::to_string(e6), std::to_string(skips)});
+  }
+  summary.print(std::cout);
+
+  std::printf(
+      "\nPaper's shape: every LightNet mixes operators across layers\n"
+      "(layer diversity), and larger budgets produce deeper (fewer\n"
+      "skips) and wider (more E6 / larger kernels) networks.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Reproduces Figure 7: the search trajectory under each latency
+// constraint, averaged over three seeds. The paper's observation: the
+// search always ends up at the given constraint, exploring architectures
+// around the target latency.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/lightnas.hpp"
+#include "util/csv.hpp"
+#include "util/plot.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace lightnas;
+
+int main() {
+  bench::banner("fig7_search_stability",
+                "Figure 7 (search process under various constraints, "
+                "3 seeds each)");
+  bench::Pipeline pipeline;
+  auto predictor = bench::train_latency_predictor(pipeline);
+
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = bench::scaled(16384, 4096);
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+
+  const std::vector<double> targets = {20.0, 22.0, 24.0, 26.0, 28.0, 30.0};
+  const std::uint64_t seeds[] = {3, 7, 13};
+
+  util::Table table({"target (ms)", "final pred (ms) mean+/-sd",
+                     "final measured (ms)", "final lambda",
+                     "|pred-T|/T (%)"});
+  util::CsvWriter csv({"target_ms", "seed", "epoch", "derived_pred_ms",
+                       "sampled_mean_ms", "lambda", "tau"});
+
+  for (double target : targets) {
+    std::vector<double> finals, measured, lambdas;
+    for (std::uint64_t seed : seeds) {
+      core::LightNasConfig config;
+      config.target = target;
+      config.seed = seed;
+      if (bench::fast_mode()) {
+        config.epochs = 24;
+        config.warmup_epochs = 8;
+        config.w_steps_per_epoch = 24;
+        config.alpha_steps_per_epoch = 16;
+      }
+      core::LightNas engine(pipeline.space, *predictor, task,
+                            core::SupernetConfig{}, config);
+      const core::SearchResult result = engine.search();
+      finals.push_back(result.final_predicted_cost);
+      measured.push_back(pipeline.cost().network_latency_ms(
+          pipeline.space, result.architecture));
+      lambdas.push_back(result.final_lambda);
+      for (const core::SearchEpochStats& stats : result.trace) {
+        csv.add_row(std::vector<double>{
+            target, static_cast<double>(seed),
+            static_cast<double>(stats.epoch), stats.predicted_cost,
+            stats.sampled_cost_mean, stats.lambda, stats.tau});
+      }
+      std::printf("T=%.0f seed=%llu: final pred %.2f ms (lambda %.3f)\n",
+                  target, static_cast<unsigned long long>(seed),
+                  result.final_predicted_cost, result.final_lambda);
+    }
+    const double mean_final = util::mean(finals);
+    table.add_row(
+        {util::fmt_double(target, 0),
+         util::fmt_double(mean_final, 2) + " +/- " +
+             util::fmt_double(util::stddev(finals), 2),
+         util::fmt_double(util::mean(measured), 2),
+         util::fmt_double(util::mean(lambdas), 3),
+         util::fmt_double(std::abs(mean_final - target) / target * 100.0,
+                          1)});
+  }
+  csv.write_file("fig7_search_traces.csv");
+  std::printf("\n");
+  table.print(std::cout);
+
+  // Render one representative trace (T = 24 ms, seed 3) as an inline
+  // chart: the derived architecture's predicted latency converging to
+  // the dashed target line after the warmup epochs.
+  {
+    core::LightNasConfig config;
+    config.target = 24.0;
+    config.seed = 3;
+    if (bench::fast_mode()) {
+      config.epochs = 24;
+      config.warmup_epochs = 8;
+      config.w_steps_per_epoch = 24;
+      config.alpha_steps_per_epoch = 16;
+    }
+    core::LightNas engine(pipeline.space, *predictor, task,
+                          core::SupernetConfig{}, config);
+    const core::SearchResult result = engine.search();
+    std::vector<double> derived, sampled;
+    for (const core::SearchEpochStats& stats : result.trace) {
+      derived.push_back(stats.predicted_cost);
+      sampled.push_back(stats.sampled_cost_mean);
+    }
+    util::AsciiChart chart(64, 16);
+    chart.add_hline(24.0, '.');
+    chart.add_series("derived arch predicted latency (ms)", derived, '*');
+    chart.add_series("sampled paths mean (ms)", sampled, 'o');
+    std::printf("\nsearch trace at T = 24 ms (x-axis: epoch):\n%s",
+                chart.render().c_str());
+  }
+
+  std::printf(
+      "\nPaper's shape: each run converges to its target latency (the\n"
+      "traces in fig7_search_traces.csv oscillate around T after the\n"
+      "warmup epochs), and the learned lambda settles at a run-specific\n"
+      "equilibrium instead of being hand-tuned.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Google-benchmark microbenchmarks for the hot paths of the framework:
+// the analytical cost model, predictor inference/backprop, Gumbel
+// sampling, architecture encoding, and one supernet optimization step.
+// These quantify the "negligible overhead" claims (Sec 3.2: predictor
+// inference < 1 ms) on the host machine.
+
+#include <benchmark/benchmark.h>
+
+#include "core/gumbel.hpp"
+#include "core/supernet.hpp"
+#include "hw/cost_model.hpp"
+#include "nn/ops.hpp"
+#include "nn/optim.hpp"
+#include "predictors/mlp_predictor.hpp"
+#include "space/flops.hpp"
+
+namespace {
+
+using namespace lightnas;
+
+const space::SearchSpace& the_space() {
+  static const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  return space;
+}
+
+void BM_CostModelLatency(benchmark::State& state) {
+  const hw::CostModel model(hw::DeviceProfile::jetson_xavier_maxn(), 8);
+  util::Rng rng(1);
+  const space::Architecture arch = the_space().random_architecture(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.network_latency_ms(the_space(), arch));
+  }
+}
+BENCHMARK(BM_CostModelLatency);
+
+void BM_CostModelEnergy(benchmark::State& state) {
+  const hw::CostModel model(hw::DeviceProfile::jetson_xavier_maxn(), 8);
+  util::Rng rng(2);
+  const space::Architecture arch = the_space().random_architecture(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.network_energy_mj(the_space(), arch));
+  }
+}
+BENCHMARK(BM_CostModelEnergy);
+
+void BM_MacsCount(benchmark::State& state) {
+  util::Rng rng(3);
+  const space::Architecture arch = the_space().random_architecture(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space::count_macs(the_space(), arch));
+  }
+}
+BENCHMARK(BM_MacsCount);
+
+void BM_OneHotEncode(benchmark::State& state) {
+  util::Rng rng(4);
+  const space::Architecture arch = the_space().random_architecture(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch.encode_one_hot(the_space().num_ops()));
+  }
+}
+BENCHMARK(BM_OneHotEncode);
+
+void BM_GumbelNoise(benchmark::State& state) {
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::gumbel_noise(21, 7, rng));
+  }
+}
+BENCHMARK(BM_GumbelNoise);
+
+predictors::MlpPredictor& trained_predictor() {
+  static predictors::MlpPredictor* predictor = [] {
+    auto* p = new predictors::MlpPredictor(the_space().num_layers(),
+                                           the_space().num_ops(), 7);
+    hw::HardwareSimulator device(hw::DeviceProfile::jetson_xavier_maxn(), 8,
+                                 42);
+    util::Rng rng(1);
+    const predictors::MeasurementDataset data =
+        predictors::build_measurement_dataset(
+            the_space(), device, 400, predictors::Metric::kLatencyMs, rng);
+    predictors::MlpTrainConfig config;
+    config.epochs = 10;
+    p->train(data, config);
+    return p;
+  }();
+  return *predictor;
+}
+
+void BM_PredictorInference(benchmark::State& state) {
+  // The paper's Sec 3.2 claim: one-time inference takes well under a
+  // millisecond.
+  util::Rng rng(6);
+  const space::Architecture arch = the_space().random_architecture(rng);
+  trained_predictor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trained_predictor().predict(arch));
+  }
+}
+BENCHMARK(BM_PredictorInference);
+
+void BM_PredictorBackward(benchmark::State& state) {
+  // Eq 12's d(LAT)/d(encoding): one forward + one backward pass.
+  util::Rng rng(7);
+  const space::Architecture arch = the_space().random_architecture(rng);
+  const std::vector<float> enc =
+      arch.encode_one_hot(the_space().num_ops());
+  trained_predictor();
+  for (auto _ : state) {
+    nn::Tensor x(1, enc.size());
+    std::copy(enc.begin(), enc.end(), x.data().begin());
+    nn::VarPtr input = nn::make_leaf(std::move(x));
+    nn::backward(trained_predictor().forward_var(input));
+    benchmark::DoNotOptimize(input->grad);
+  }
+}
+BENCHMARK(BM_PredictorBackward);
+
+void BM_SupernetSinglePathStep(benchmark::State& state) {
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = 256;
+  task_config.valid_size = 64;
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+  core::SurrogateSupernet net(the_space(), task.train.feature_dim(), 10,
+                              core::SupernetConfig{});
+  nn::Sgd optimizer(net.weight_parameters(), 0.1, 0.9, 0.0, 5.0);
+  util::Rng rng(8);
+  const space::Architecture arch = the_space().random_architecture(rng);
+  nn::Dataset batch = task.train.gather(rng.permutation(48));
+  for (auto _ : state) {
+    optimizer.zero_grad();
+    const nn::VarPtr logits =
+        net.forward_single_path(batch.features, arch.ops());
+    const nn::VarPtr loss =
+        nn::ops::softmax_cross_entropy(logits, batch.labels);
+    nn::backward(loss);
+    optimizer.step();
+  }
+}
+BENCHMARK(BM_SupernetSinglePathStep);
+
+void BM_SupernetMultiPathForward(benchmark::State& state) {
+  // The K-times compute of the multi-path mode (Table 1's complexity
+  // column), measured directly.
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = 256;
+  task_config.valid_size = 64;
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+  core::SurrogateSupernet net(the_space(), task.train.feature_dim(), 10,
+                              core::SupernetConfig{});
+  util::Rng rng(9);
+  nn::Dataset batch = task.train.gather(rng.permutation(48));
+  nn::Tensor weights = nn::Tensor::full(the_space().num_layers(),
+                                        the_space().num_ops(),
+                                        1.0f / 7.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward_multi_path(
+        batch.features, nn::make_const(weights)));
+  }
+}
+BENCHMARK(BM_SupernetMultiPathForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Reproduces Table 1: the framework comparison matrix (differentiable?
+// latency-optimizing? can it hit a *specified* latency? proxyless? search
+// complexity and cost) — augmented with measured quantities from our own
+// substrate: single-path vs multi-path activation memory and the
+// step-count accounting of one LightNAS run.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/lightnas.hpp"
+#include "core/supernet.hpp"
+#include "eval/search_cost.hpp"
+#include "util/table.hpp"
+
+using namespace lightnas;
+
+int main() {
+  bench::banner("table1_method_comparison",
+                "Table 1 (comparison with previous NAS approaches)");
+
+  util::Table table({"method", "paradigm", "differentiable",
+                     "latency opt.", "specified latency", "proxyless",
+                     "complexity", "explicit cost (GPU h)",
+                     "implicit runs", "total (GPU h)"});
+  for (const eval::MethodProfile& p : eval::method_profiles()) {
+    table.add_row(
+        {p.name, p.paradigm, p.differentiable ? "yes" : "no",
+         p.latency_optimization ? "yes" : "no",
+         p.specified_latency ? "yes" : "no", p.proxyless ? "yes" : "no",
+         p.complexity,
+         p.explicit_gpu_hours > 0 ? util::fmt_double(p.explicit_gpu_hours, 0)
+                                  : "-",
+         util::fmt_double(p.implicit_runs, 0),
+         p.explicit_gpu_hours > 0 ? util::fmt_double(p.total_gpu_hours(), 0)
+                                  : "-"});
+  }
+  table.print(std::cout);
+
+  // Quantify the single-path vs multi-path memory claim on our supernet.
+  bench::Pipeline pipeline;
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = 1024;
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+  const core::SurrogateSupernet net(pipeline.space,
+                                    task.train.feature_dim(), 10,
+                                    core::SupernetConfig{});
+  const std::size_t batch = 128;
+  std::printf(
+      "\nactivation memory at batch %zu (floats):\n"
+      "  single-path (LightNAS, Sec 3.3): %zu\n"
+      "  multi-path  (DARTS/FBNet, Eq 1): %zu  (x%.1f)\n",
+      batch, net.activations_single_path(batch),
+      net.activations_multi_path(batch),
+      static_cast<double>(net.activations_multi_path(batch)) /
+          static_cast<double>(net.activations_single_path(batch)));
+
+  std::printf(
+      "\nPaper's message: LightNAS is the only row with differentiable +\n"
+      "specified-latency + O(1) single-path complexity, at 10 GPU hours\n"
+      "per *deployed* architecture (no implicit lambda sweep).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Table 3: COCO2017 object detection with SSDLite, treating
+// each backbone as a drop-in replacement. Baseline backbones are the
+// latency-fitted zoo stand-ins; LightNet backbones come from fresh
+// one-shot searches at 20/24/28 ms.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/lightnas.hpp"
+#include "eval/detection.hpp"
+#include "eval/zoo.hpp"
+#include "util/table.hpp"
+
+using namespace lightnas;
+
+int main() {
+  bench::banner("table3_detection",
+                "Table 3 (SSDLite on COCO2017, backbone comparison)");
+  bench::Pipeline pipeline;
+  const eval::DetectionEvaluator detector(
+      hw::DeviceProfile::jetson_xavier_maxn());
+  auto predictor = bench::train_latency_predictor(pipeline);
+
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = bench::scaled(16384, 4096);
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+
+  util::Table table({"backbone", "AP", "AP50", "AP75", "APs", "APm", "APl",
+                     "latency (ms)"});
+
+  auto add_row = [&](const std::string& name,
+                     const space::Architecture& arch) {
+    const eval::DetectionResult r = detector.evaluate(arch);
+    table.add_row({name, util::fmt_double(r.ap, 1),
+                   util::fmt_double(r.ap50, 1), util::fmt_double(r.ap75, 1),
+                   util::fmt_double(r.ap_small, 1),
+                   util::fmt_double(r.ap_medium, 1),
+                   util::fmt_double(r.ap_large, 1),
+                   util::fmt_ms(r.latency_ms)});
+  };
+
+  // Baselines from the zoo (same names as the paper's Table 3).
+  for (const eval::ZooEntry& entry :
+       eval::architecture_zoo(pipeline.space, pipeline.cost())) {
+    if (entry.name == "ProxylessNAS" || entry.name == "MobileNetV2" ||
+        entry.name == "MnasNet-A1" || entry.name == "FBNet-C" ||
+        entry.name == "OFA-M") {
+      add_row(entry.name, entry.arch);
+    }
+  }
+  table.add_separator();
+
+  for (double target : {20.0, 24.0, 28.0}) {
+    core::LightNasConfig config;
+    config.target = target;
+    config.seed = 11;
+    if (bench::fast_mode()) {
+      config.epochs = 24;
+      config.warmup_epochs = 8;
+      config.w_steps_per_epoch = 24;
+      config.alpha_steps_per_epoch = 16;
+    }
+    core::LightNas engine(pipeline.space, *predictor, task,
+                          core::SupernetConfig{}, config);
+    const core::SearchResult result = engine.search();
+    add_row("LightNet-" + util::fmt_double(target, 0) + "ms (ours)",
+            result.architecture);
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nPaper's shape: detection AP tracks backbone quality; LightNet\n"
+      "backbones give competitive-or-better AP at visibly lower detector\n"
+      "latency (paper: LightNet-28ms reaches AP 21.9 at 69.7 ms vs\n"
+      "FBNet-C's 21.5 at 76.5 ms).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Example: retarget the whole pipeline to YOUR device (Sec 3.5's
+// "effortlessly plugged into various scenarios").
+//
+// A DeviceProfile is a plain struct of roofline parameters — fill it in
+// from your datasheet + a few microbenchmarks, re-run the measurement
+// campaign, retrain the predictor, and search. This example defines a
+// fictional "PocketEdge-1" NPU, shows how architecture *rankings* shift
+// versus the Xavier, and searches a latency-constrained network for it.
+
+#include <cstdio>
+
+#include "core/lightnas.hpp"
+#include "predictors/mlp_predictor.hpp"
+#include "util/stats.hpp"
+
+using namespace lightnas;
+
+int main() {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+
+  // ---- your device goes here -----------------------------------------
+  hw::DeviceProfile pocket_edge;
+  pocket_edge.name = "PocketEdge-1";
+  pocket_edge.peak_gmacs = 1200.0;          // 1.2 TMAC/s NPU
+  pocket_edge.memory_bandwidth_gbs = 20.0;  // LPDDR4 single channel
+  pocket_edge.pointwise_efficiency = 0.70;  // systolic GEMM
+  pocket_edge.depthwise_efficiency = 0.05;  // depthwise falls off the array
+  pocket_edge.dense_efficiency = 0.75;
+  pocket_edge.memory_efficiency = 0.60;
+  pocket_edge.half_utilization_channels = 64.0;
+  pocket_edge.kernel_launch_us = 25.0;
+  pocket_edge.network_overhead_ms = 1.8;
+  pocket_edge.overlap_factor = 0.95;
+  pocket_edge.cache_bytes = 2.0 * 1024 * 1024;
+  pocket_edge.cache_saving = 0.5;
+  pocket_edge.compute_power_w = 3.2;
+  pocket_edge.memory_power_w = 1.4;
+  pocket_edge.static_power_w = 0.8;
+  pocket_edge.latency_noise_ms = 0.05;
+  pocket_edge.energy_noise_frac = 0.02;
+
+  hw::HardwareSimulator device(pocket_edge, /*batch=*/8, /*seed=*/17);
+  hw::HardwareSimulator xavier(hw::DeviceProfile::jetson_xavier_maxn(), 8,
+                               42);
+
+  // ---- rankings shift across devices ----------------------------------
+  util::Rng rng(3);
+  std::vector<double> ours, theirs;
+  for (int i = 0; i < 80; ++i) {
+    const space::Architecture arch = space.random_architecture(rng);
+    ours.push_back(device.model().network_latency_ms(space, arch));
+    theirs.push_back(xavier.model().network_latency_ms(space, arch));
+  }
+  std::printf(
+      "kendall-tau of architecture latencies, PocketEdge-1 vs Xavier: "
+      "%.3f\n",
+      util::kendall_tau(ours, theirs));
+  std::printf("(< 1.0 means a Xavier-optimal network is NOT optimal here —\n"
+              " which is why the predictor must be retrained per device)\n\n");
+
+  // ---- retrain the predictor on the new device -------------------------
+  util::Rng campaign_rng(4);
+  const predictors::MeasurementDataset data =
+      predictors::build_measurement_dataset(
+          space, device, 4000, predictors::Metric::kLatencyMs,
+          campaign_rng);
+  predictors::MlpPredictor predictor(space.num_layers(), space.num_ops());
+  predictors::MlpTrainConfig train_config;
+  train_config.epochs = 80;
+  train_config.batch_size = 128;
+  predictor.train(data, train_config);
+  std::printf("PocketEdge-1 predictor: %s\n",
+              predictor.evaluate(data).to_string("ms").c_str());
+  std::printf("latency range sampled: %.1f .. %.1f ms\n\n",
+              util::min_of(data.targets), util::max_of(data.targets));
+
+  // ---- and search for it ------------------------------------------------
+  const double target = util::median(data.targets);  // mid-range budget
+  std::printf("searching at T = %.1f ms on PocketEdge-1...\n", target);
+  const nn::SyntheticTask task = nn::make_synthetic_task({});
+  core::LightNasConfig config;
+  config.target = target;
+  config.seed = 13;
+  core::LightNas engine(space, predictor, task, core::SupernetConfig{},
+                        config);
+  const core::SearchResult result = engine.search();
+  std::printf("\n%s\n\n", result.architecture.to_diagram(space).c_str());
+  std::printf("predicted %.2f ms / measured %.2f ms on PocketEdge-1\n",
+              result.final_predicted_cost,
+              device.measure_latency_ms(space, result.architecture, 16));
+  std::printf("the same network on Xavier: %.2f ms\n",
+              xavier.model().network_latency_ms(space,
+                                                result.architecture));
+  return 0;
+}

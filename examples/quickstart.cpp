@@ -1,0 +1,73 @@
+// Quickstart: the whole LightNAS pipeline in ~60 lines.
+//
+//  1. Define the search space (FBNet-style, 22 layers, |A| = 7^21).
+//  2. Stand up the device (here: the simulated Jetson AGX Xavier).
+//  3. Run the one-time measurement campaign and train the MLP latency
+//     predictor (Sec 3.2).
+//  4. Ask for an architecture at a specific latency target — ONE search
+//     call, no hyper-parameter sweep ("you only search once", Sec 3.4).
+//
+// Build & run:  ./build/examples/quickstart [target_ms]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/lightnas.hpp"
+#include "eval/accuracy_model.hpp"
+#include "predictors/mlp_predictor.hpp"
+#include "space/flops.hpp"
+
+using namespace lightnas;
+
+int main(int argc, char** argv) {
+  const double target_ms = argc > 1 ? std::atof(argv[1]) : 24.0;
+
+  // 1. Search space ----------------------------------------------------
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  std::printf("%s\n", space.describe().c_str());
+
+  // 2. Device ----------------------------------------------------------
+  hw::HardwareSimulator device(hw::DeviceProfile::jetson_xavier_maxn(),
+                               /*batch=*/8, /*seed=*/42);
+  std::printf("device: %s\n", device.profile().name.c_str());
+
+  // 3. Latency predictor -----------------------------------------------
+  std::printf("measuring 4000 random architectures...\n");
+  util::Rng rng(1);
+  const predictors::MeasurementDataset data =
+      predictors::build_measurement_dataset(
+          space, device, 4000, predictors::Metric::kLatencyMs, rng);
+  predictors::MlpPredictor predictor(space.num_layers(), space.num_ops());
+  predictors::MlpTrainConfig train_config;
+  train_config.epochs = 80;
+  train_config.batch_size = 128;
+  predictor.train(data, train_config);
+  std::printf("predictor trained: %s\n\n",
+              predictor.evaluate(data).to_string("ms").c_str());
+
+  // 4. One-shot constrained search ---------------------------------------
+  std::printf("searching for a %.1f ms architecture (one run)...\n",
+              target_ms);
+  const nn::SyntheticTask task = nn::make_synthetic_task({});
+  core::LightNasConfig config;
+  config.target = target_ms;
+  config.seed = 7;
+  core::LightNas engine(space, predictor, task, core::SupernetConfig{},
+                        config);
+  const core::SearchResult result = engine.search();
+
+  const eval::AccuracyModel accuracy(space);
+  std::printf("\nsearched architecture:\n%s\n\n",
+              result.architecture.to_diagram(space).c_str());
+  std::printf("predicted latency : %.2f ms (target %.1f ms)\n",
+              result.final_predicted_cost, target_ms);
+  std::printf("measured latency  : %.2f ms\n",
+              device.measure_latency_ms(space, result.architecture, 32));
+  std::printf("MACs              : %.0f M\n",
+              space::count_macs(space, result.architecture) / 1e6);
+  std::printf("surrogate top-1   : %.1f %%\n",
+              accuracy.top1(result.architecture));
+  std::printf("learned lambda    : %.3f\n", result.final_lambda);
+  std::printf("\nserialized: %s\n", result.architecture.serialize().c_str());
+  return 0;
+}

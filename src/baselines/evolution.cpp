@@ -1,0 +1,111 @@
+#include "baselines/evolution.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lightnas::baselines {
+
+namespace {
+
+struct Individual {
+  space::Architecture arch;
+  double score = 0.0;
+};
+
+bool feasible(const predictors::CostOracle& cost,
+              const space::Architecture& arch, const EvolutionConfig& cfg) {
+  const double predicted = cost.predict(arch);
+  return predicted <= cfg.target && predicted >= cfg.target - cfg.slack;
+}
+
+}  // namespace
+
+EvolutionResult evolutionary_search(const space::SearchSpace& space,
+                                    const predictors::CostOracle& cost,
+                                    const ScoreFn& score,
+                                    const EvolutionConfig& config) {
+  assert(config.population >= 2);
+  assert(config.tournament >= 1);
+  util::Rng rng(config.seed * 0x6a09e667f3bcc909ULL + 3);
+
+  EvolutionResult result;
+
+  // Seed a feasible population by rejection sampling (with a mutation-
+  // repair fallback so tight targets still fill the population).
+  std::vector<Individual> population;
+  std::size_t attempts = 0;
+  while (population.size() < config.population &&
+         attempts < config.population * 500) {
+    ++attempts;
+    space::Architecture arch = space.random_architecture(rng);
+    if (!feasible(cost, arch, config)) {
+      // Repair: nudge towards the target with single-op mutations.
+      for (int repair = 0; repair < 40; ++repair) {
+        space::Architecture mutated = space.mutate(arch, 1, rng);
+        if (std::abs(cost.predict(mutated) - config.target) <
+            std::abs(cost.predict(arch) - config.target)) {
+          arch = std::move(mutated);
+        }
+        if (feasible(cost, arch, config)) break;
+      }
+      if (!feasible(cost, arch, config)) continue;
+    }
+    Individual ind;
+    ind.score = score(arch);
+    ind.arch = std::move(arch);
+    ++result.num_evaluated;
+    population.push_back(std::move(ind));
+  }
+  assert(!population.empty() && "could not seed a feasible population");
+
+  auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (std::size_t i = 0; i < config.tournament; ++i) {
+      const Individual& cand =
+          population[rng.uniform_index(population.size())];
+      if (best == nullptr || cand.score > best->score) best = &cand;
+    }
+    return *best;
+  };
+
+  for (std::size_t gen = 0; gen < config.generations; ++gen) {
+    std::vector<Individual> children;
+    children.reserve(config.children);
+    std::size_t guard = 0;
+    while (children.size() < config.children &&
+           guard < config.children * 200) {
+      ++guard;
+      space::Architecture child =
+          (children.size() % 2 == 0)
+              ? space.mutate(tournament_pick().arch,
+                             config.mutations_per_child, rng)
+              : space.crossover(tournament_pick().arch,
+                                tournament_pick().arch, rng);
+      if (!feasible(cost, child, config)) continue;
+      Individual ind;
+      ind.score = score(child);
+      ind.arch = std::move(child);
+      ++result.num_evaluated;
+      children.push_back(std::move(ind));
+    }
+
+    // Elitist replacement: merge and keep the top `population`.
+    for (Individual& child : children) {
+      population.push_back(std::move(child));
+    }
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.score > b.score;
+              });
+    if (population.size() > config.population) {
+      population.resize(config.population);
+    }
+    result.best_score_per_generation.push_back(population.front().score);
+  }
+
+  result.best = population.front().arch;
+  result.best_score = population.front().score;
+  return result;
+}
+
+}  // namespace lightnas::baselines

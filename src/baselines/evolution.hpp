@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/random_search.hpp"
+#include "predictors/predictor.hpp"
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::baselines {
+
+struct EvolutionConfig {
+  std::size_t population = 64;
+  std::size_t generations = 30;
+  /// Parents drawn per generation by tournament of this size.
+  std::size_t tournament = 8;
+  /// Children produced per generation (half mutation, half crossover).
+  std::size_t children = 32;
+  std::size_t mutations_per_child = 2;
+  double target = 24.0;
+  double slack = 2.0;
+  std::uint64_t seed = 0;
+};
+
+struct EvolutionResult {
+  space::Architecture best;
+  double best_score = 0.0;
+  std::vector<double> best_score_per_generation;
+  std::size_t num_evaluated = 0;
+};
+
+/// Constraint-aware evolutionary search in the style of the Once-for-All
+/// specialization stage (reference [18]): a feasible-only population is
+/// evolved by mutation + uniform crossover under tournament selection,
+/// with the latency predictor acting as the feasibility oracle.
+EvolutionResult evolutionary_search(const space::SearchSpace& space,
+                                    const predictors::CostOracle& cost,
+                                    const ScoreFn& score,
+                                    const EvolutionConfig& config);
+
+}  // namespace lightnas::baselines

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/lightnas.hpp"
+#include "core/supernet.hpp"
+#include "nn/data.hpp"
+#include "predictors/predictor.hpp"
+#include "space/search_space.hpp"
+
+namespace lightnas::baselines {
+
+/// Configuration of the FBNet-style baseline search.
+struct FbNetConfig {
+  /// Fixed trade-off coefficient of Eq (3). THE knob the paper's
+  /// motivation section is about: each latency target requires re-tuning
+  /// this by trial and error (Fig 3), i.e., ~10 search runs.
+  double lambda = 0.001;
+
+  std::size_t epochs = 30;
+  std::size_t warmup_epochs = 5;
+  std::size_t w_steps_per_epoch = 8;
+  std::size_t alpha_steps_per_epoch = 8;
+  std::size_t batch_size = 48;
+
+  double w_lr = 0.05;
+  double w_momentum = 0.9;
+  double w_weight_decay = 3e-5;
+  double alpha_lr = 1e-3;
+  double alpha_weight_decay = 1e-3;
+
+  double tau_initial = 5.0;
+  double tau_final = 0.1;
+
+  std::uint64_t seed = 0;
+};
+
+/// FBNet-style hardware-aware differentiable search (reference [5]):
+/// multi-path supernet execution with soft Gumbel weights — every
+/// candidate of every layer is evaluated and mixed (Eq 1/8-soft), giving
+/// O(K) compute and activation memory per layer — plus a *soft* latency
+/// penalty lambda * LAT(alpha) with a constant, hand-tuned lambda.
+///
+/// Differences from LightNAS the paper calls out, all reproduced here:
+///  - multi-path => K-times memory (the "memory bottleneck", Table 1);
+///  - soft penalty => the achieved latency is an uncontrolled function
+///    of lambda (Fig 3), so hitting a target T takes a manual sweep;
+///  - expected latency is the probability-weighted sum of per-op costs,
+///    naturally expressed with the (linear) LUT predictor.
+class FbNetSearch {
+ public:
+  FbNetSearch(const space::SearchSpace& space,
+              const predictors::HardwarePredictor& predictor,
+              const nn::SyntheticTask& task,
+              const core::SupernetConfig& supernet,
+              const FbNetConfig& config);
+
+  core::SearchResult search();
+
+  const FbNetConfig& config() const { return config_; }
+
+ private:
+  const space::SearchSpace* space_;
+  const predictors::HardwarePredictor* predictor_;
+  const nn::SyntheticTask* task_;
+  core::SupernetConfig supernet_config_;
+  FbNetConfig config_;
+};
+
+}  // namespace lightnas::baselines

@@ -1,0 +1,34 @@
+#include "baselines/random_search.hpp"
+
+#include <cassert>
+
+namespace lightnas::baselines {
+
+RandomSearchResult random_search(const space::SearchSpace& space,
+                                 const predictors::CostOracle& cost,
+                                 const ScoreFn& score,
+                                 const RandomSearchConfig& config,
+                                 util::Rng& rng) {
+  assert(config.num_samples > 0);
+  assert(config.target > 0.0);
+
+  RandomSearchResult result;
+  for (std::size_t i = 0; i < config.num_samples; ++i) {
+    const space::Architecture arch = space.random_architecture(rng);
+    const double predicted = cost.predict(arch);
+    if (predicted > config.target ||
+        predicted < config.target - config.slack) {
+      continue;
+    }
+    ++result.num_feasible;
+    const double s = score(arch);
+    ++result.num_evaluated;
+    if (!result.best || s > result.best_score) {
+      result.best = arch;
+      result.best_score = s;
+    }
+  }
+  return result;
+}
+
+}  // namespace lightnas::baselines

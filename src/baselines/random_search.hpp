@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "predictors/predictor.hpp"
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::baselines {
+
+/// Scoring callback: higher is better (e.g. the surrogate top-1, or a
+/// quickly-trained validation accuracy).
+using ScoreFn = std::function<double(const space::Architecture&)>;
+
+struct RandomSearchConfig {
+  std::size_t num_samples = 2000;
+  /// Constraint: keep candidates with predicted cost <= target (and
+  /// >= target - slack, so the budget is actually used).
+  double target = 24.0;
+  double slack = 2.0;
+};
+
+struct RandomSearchResult {
+  std::optional<space::Architecture> best;
+  double best_score = 0.0;
+  std::size_t num_feasible = 0;
+  std::size_t num_evaluated = 0;
+};
+
+/// Constraint-filtered random search: the simplest baseline that can hit
+/// a latency target through a one-time (but sample-hungry) procedure.
+RandomSearchResult random_search(const space::SearchSpace& space,
+                                 const predictors::CostOracle& cost,
+                                 const ScoreFn& score,
+                                 const RandomSearchConfig& config,
+                                 util::Rng& rng);
+
+}  // namespace lightnas::baselines

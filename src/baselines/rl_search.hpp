@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/random_search.hpp"
+#include "predictors/predictor.hpp"
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+
+namespace lightnas::baselines {
+
+struct RlSearchConfig {
+  std::size_t iterations = 150;
+  std::size_t batch = 8;  ///< architectures sampled per policy update
+  double policy_lr = 0.15;
+  double baseline_momentum = 0.9;
+  double target = 24.0;
+  /// MnasNet reward exponent w in acc * (lat/T)^w for lat > T; the hard
+  /// constraint variant the paper's Table 1 row refers to.
+  double latency_exponent = -2.0;
+  std::uint64_t seed = 0;
+};
+
+struct RlSearchResult {
+  space::Architecture best;
+  double best_score = 0.0;
+  std::vector<double> mean_reward_per_iteration;
+  std::size_t num_evaluated = 0;
+};
+
+/// MnasNet-style reinforcement-learning search (reference [14]): a
+/// factorized per-layer categorical policy trained with REINFORCE and a
+/// moving-average baseline on the reward acc * (LAT/T)^w. Demonstrates
+/// the "can hit a specified latency, but at prohibitive sample cost"
+/// trade-off of Table 1: every sampled architecture costs one full
+/// evaluation.
+RlSearchResult rl_search(const space::SearchSpace& space,
+                         const predictors::CostOracle& cost,
+                         const ScoreFn& score, const RlSearchConfig& config);
+
+}  // namespace lightnas::baselines

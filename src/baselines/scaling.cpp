@@ -1,0 +1,52 @@
+#include "baselines/scaling.hpp"
+
+#include <sstream>
+
+#include "space/flops.hpp"
+
+namespace lightnas::baselines {
+
+std::string ScaledModel::label() const {
+  std::ostringstream oss;
+  oss << "MBV2-w" << width_mult << "-r" << resolution;
+  return oss.str();
+}
+
+namespace {
+
+ScaledModel make_scaled(double width, std::size_t resolution,
+                        const hw::CostModel& device) {
+  ScaledModel model;
+  model.width_mult = width;
+  model.resolution = resolution;
+  model.space = space::SearchSpace::scaled(width, resolution);
+  model.arch = model.space.mobilenet_v2_like();
+  model.latency_ms = device.network_latency_ms(model.space, model.arch);
+  model.macs = space::count_macs(model.space, model.arch);
+  return model;
+}
+
+}  // namespace
+
+std::vector<ScaledModel> width_scaled_mobilenets(
+    const std::vector<double>& width_mults, const hw::CostModel& device) {
+  std::vector<ScaledModel> models;
+  models.reserve(width_mults.size());
+  for (double w : width_mults) {
+    models.push_back(make_scaled(w, 224, device));
+  }
+  return models;
+}
+
+std::vector<ScaledModel> resolution_scaled_mobilenets(
+    const std::vector<std::size_t>& resolutions,
+    const hw::CostModel& device) {
+  std::vector<ScaledModel> models;
+  models.reserve(resolutions.size());
+  for (std::size_t r : resolutions) {
+    models.push_back(make_scaled(1.0, r, device));
+  }
+  return models;
+}
+
+}  // namespace lightnas::baselines

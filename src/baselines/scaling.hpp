@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+
+namespace lightnas::baselines {
+
+/// One point of the model-scaling baseline (Fig 9): a MobileNetV2-like
+/// stack (uniform K3_E6) at a given width multiplier and input
+/// resolution, with its simulated latency.
+struct ScaledModel {
+  double width_mult = 1.0;
+  std::size_t resolution = 224;
+  space::SearchSpace space =
+      space::SearchSpace::fbnet_xavier();  // scaled macro-architecture
+  space::Architecture arch;
+  double latency_ms = 0.0;
+  double macs = 0.0;
+
+  std::string label() const;
+};
+
+/// Enumerate width-scaled variants (fixed 224 resolution).
+std::vector<ScaledModel> width_scaled_mobilenets(
+    const std::vector<double>& width_mults, const hw::CostModel& device);
+
+/// Enumerate resolution-scaled variants (fixed 1.0 width).
+std::vector<ScaledModel> resolution_scaled_mobilenets(
+    const std::vector<std::size_t>& resolutions, const hw::CostModel& device);
+
+}  // namespace lightnas::baselines

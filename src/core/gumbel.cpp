@@ -1,0 +1,35 @@
+#include "core/gumbel.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lightnas::core {
+
+nn::Tensor gumbel_noise(std::size_t rows, std::size_t cols,
+                        util::Rng& rng) {
+  nn::Tensor noise(rows, cols);
+  for (auto& v : noise.data()) {
+    v = static_cast<float>(rng.gumbel());
+  }
+  return noise;
+}
+
+TemperatureSchedule::TemperatureSchedule(double initial_tau,
+                                         double final_tau,
+                                         std::size_t total_epochs)
+    : initial_(initial_tau), final_(final_tau),
+      total_epochs_(total_epochs) {
+  assert(initial_tau >= final_tau);
+  assert(final_tau > 0.0);
+  assert(total_epochs > 0);
+}
+
+double TemperatureSchedule::at(std::size_t epoch) const {
+  if (epoch >= total_epochs_) return final_;
+  const double progress = static_cast<double>(epoch) /
+                          static_cast<double>(total_epochs_);
+  // Exponential interpolation from initial to final temperature.
+  return initial_ * std::pow(final_ / initial_, progress);
+}
+
+}  // namespace lightnas::core

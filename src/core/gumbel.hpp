@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::core {
+
+/// Matrix of i.i.d. Gumbel(0, 1) samples — the G of Eq (7).
+nn::Tensor gumbel_noise(std::size_t rows, std::size_t cols, util::Rng& rng);
+
+/// Softmax temperature schedule (Sec 3.3): tau starts at 5 and decays
+/// "gradually to zero". We decay exponentially and floor at `final_tau`
+/// (> 0) because Eq (7) divides by tau; the floor stands in for the
+/// limit, which the Gumbel-Softmax paper proves is unbiased.
+class TemperatureSchedule {
+ public:
+  TemperatureSchedule(double initial_tau, double final_tau,
+                      std::size_t total_epochs);
+
+  double at(std::size_t epoch) const;
+
+  double initial_tau() const { return initial_; }
+  double final_tau() const { return final_; }
+
+ private:
+  double initial_;
+  double final_;
+  std::size_t total_epochs_;
+};
+
+}  // namespace lightnas::core

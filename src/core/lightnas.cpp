@@ -1,0 +1,314 @@
+#include "core/lightnas.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "nn/ops.hpp"
+#include "nn/optim.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::core {
+
+namespace {
+
+/// GDAS-style hard gate: value exactly 1, gradient d(gate)/d(p_soft) = 1,
+/// so the path's output gradient is credited to its soft probability.
+nn::VarPtr hard_gate(const nn::VarPtr& soft_prob) {
+  return nn::ops::add_scalar(
+      nn::ops::sub(soft_prob, nn::ops::detach(soft_prob)), 1.0);
+}
+
+}  // namespace
+
+LightNas::LightNas(const space::SearchSpace& space,
+                   const predictors::HardwarePredictor& predictor,
+                   const nn::SyntheticTask& task,
+                   const SupernetConfig& supernet,
+                   const LightNasConfig& config)
+    : LightNas(space, std::vector<Constraint>{{&predictor, config.target}},
+               task, supernet, config) {}
+
+LightNas::LightNas(const space::SearchSpace& space,
+                   std::vector<Constraint> constraints,
+                   const nn::SyntheticTask& task,
+                   const SupernetConfig& supernet,
+                   const LightNasConfig& config)
+    : space_(&space),
+      constraints_(std::move(constraints)),
+      task_(&task),
+      supernet_config_(supernet),
+      config_(config) {
+  assert(!constraints_.empty());
+  for (const Constraint& constraint : constraints_) {
+    assert(constraint.predictor != nullptr);
+    assert(constraint.target > 0.0);
+  }
+  assert(config.warmup_epochs < config.epochs);
+}
+
+SearchResult LightNas::search() {
+  const std::size_t num_layers = space_->num_layers();
+  const std::size_t num_ops = space_->num_ops();
+  const std::size_t num_constraints = constraints_.size();
+
+  // Map searchable layer <-> row in the alpha matrix.
+  std::vector<std::size_t> searchable_layers;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    if (space_->layers()[l].searchable) searchable_layers.push_back(l);
+  }
+  const std::size_t num_searchable = searchable_layers.size();
+
+  util::Rng rng(config_.seed * 0x9e3779b9ULL + 17);
+  SupernetConfig supernet_config = supernet_config_;
+  supernet_config.seed ^= config_.seed;
+  SurrogateSupernet supernet(*space_, task_->train.feature_dim(),
+                             task_->train.labels.empty()
+                                 ? 10
+                                 : 1 + *std::max_element(
+                                           task_->train.labels.begin(),
+                                           task_->train.labels.end()),
+                             supernet_config);
+
+  // Architecture parameters: one row per *searchable* layer (Sec 3.1:
+  // the first layer is fixed).
+  nn::VarPtr alpha =
+      nn::make_leaf(nn::Tensor::zeros(num_searchable, num_ops), "alpha");
+
+  nn::Sgd w_optimizer(supernet.weight_parameters(), config_.w_lr,
+                      config_.w_momentum, config_.w_weight_decay,
+                      /*clip_norm=*/5.0);
+  const nn::CosineSchedule w_schedule(config_.w_lr,
+                                      config_.epochs *
+                                          config_.w_steps_per_epoch);
+  nn::Adam alpha_optimizer({alpha}, config_.alpha_lr, 0.9, 0.999, 1e-8,
+                           config_.alpha_weight_decay);
+  std::vector<nn::LambdaAscent> lambdas(
+      num_constraints,
+      nn::LambdaAscent(config_.lambda_lr, config_.lambda_init));
+  const TemperatureSchedule tau_schedule(config_.tau_initial,
+                                         config_.tau_final, config_.epochs);
+
+  util::Rng data_rng = rng.fork();
+  nn::Batcher train_batches(task_->train, config_.batch_size, data_rng);
+  util::Rng valid_rng = rng.fork();
+  nn::Batcher valid_batches(task_->valid, config_.batch_size, valid_rng);
+
+  // Derive the stand-alone architecture: strongest operator per layer
+  // (Sec 2.1), fixed layers keep their fixed op.
+  auto derive = [&]() {
+    std::vector<std::size_t> ops(num_layers, 0);
+    for (std::size_t s = 0; s < num_searchable; ++s) {
+      ops[searchable_layers[s]] = alpha->value.argmax_row(s);
+    }
+    return space::Architecture(std::move(ops));
+  };
+
+  // Assemble the full L x K encoding Var from the searchable block,
+  // splicing in constant one-hot rows for fixed layers (their operator
+  // index is 0 by construction of the space).
+  auto assemble_encoding = [&](const nn::VarPtr& binarized) {
+    std::vector<nn::VarPtr> rows;
+    rows.reserve(num_layers);
+    std::size_t s = 0;
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      if (space_->layers()[l].searchable) {
+        rows.push_back(nn::ops::slice_rows(binarized, s++, 1));
+      } else {
+        nn::Tensor one_hot = nn::Tensor::zeros(1, num_ops);
+        one_hot.at(0, 0) = 1.0f;
+        rows.push_back(nn::make_const(std::move(one_hot)));
+      }
+    }
+    return nn::ops::reshape(nn::ops::vstack(rows), 1,
+                            num_layers * num_ops);
+  };
+
+  SearchResult result;
+  std::size_t w_step_counter = 0;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double tau = tau_schedule.at(epoch);
+    double sampled_cost_sum = 0.0;
+    std::size_t sampled_cost_count = 0;
+
+    // ---- training phase: update w on sampled single paths -------------
+    for (std::size_t step = 0; step < config_.w_steps_per_epoch; ++step) {
+      const nn::Dataset batch = train_batches.next();
+
+      // Sample one path through the Gumbel-Softmax of Eq (7) (values
+      // only; no gradient needed in the w phase). Note: we apply the
+      // noise on the logits alpha as in the cited Gumbel-Softmax paper —
+      // softmax((log P + G)/tau) == softmax((alpha + G)/tau) since the
+      // per-row log-normalizer cancels inside the softmax.
+      const nn::VarPtr p_hat = nn::ops::row_softmax(nn::ops::scale(
+          nn::ops::add(alpha, nn::make_const(gumbel_noise(num_searchable,
+                                                          num_ops, rng))),
+          1.0 / tau));
+
+      std::vector<std::size_t> op_choice(num_layers, 0);
+      for (std::size_t s = 0; s < num_searchable; ++s) {
+        op_choice[searchable_layers[s]] = p_hat->value.argmax_row(s);
+      }
+
+      w_optimizer.zero_grad();
+      const nn::VarPtr logits =
+          supernet.forward_single_path(batch.features, op_choice);
+      const nn::VarPtr loss =
+          nn::ops::softmax_cross_entropy(logits, batch.labels);
+      nn::backward(loss);
+      w_optimizer.set_lr(w_schedule.lr_at(w_step_counter++));
+      w_optimizer.step();
+      ++result.weight_updates;
+    }
+
+    // ---- validation phase: update alpha and lambdas --------------------
+    if (epoch >= config_.warmup_epochs) {
+      for (std::size_t step = 0; step < config_.alpha_steps_per_epoch;
+           ++step) {
+        const nn::Dataset batch = valid_batches.next();
+
+        const nn::VarPtr p_hat = nn::ops::row_softmax(nn::ops::scale(
+            nn::ops::add(alpha,
+                         nn::make_const(gumbel_noise(num_searchable,
+                                                     num_ops, rng))),
+            1.0 / tau));
+
+        // Sampled path + GDAS gates so d(CE)/d(alpha) exists (Eq 12).
+        std::vector<std::size_t> op_choice(num_layers, 0);
+        std::vector<nn::VarPtr> gates(num_layers, nullptr);
+        for (std::size_t s = 0; s < num_searchable; ++s) {
+          const std::size_t j = p_hat->value.argmax_row(s);
+          op_choice[searchable_layers[s]] = j;
+          gates[searchable_layers[s]] =
+              hard_gate(nn::ops::select(p_hat, s, j));
+        }
+
+        const nn::VarPtr logits = supernet.forward_single_path(
+            batch.features, op_choice, gates);
+        nn::VarPtr loss =
+            nn::ops::softmax_cross_entropy(logits, batch.labels);
+
+        // Differentiable cost of the binarized architecture (Eq 9 + 12),
+        // one penalty term per constraint.
+        const nn::VarPtr p_bar = nn::ops::binarize_rows_ste(p_hat);
+        const nn::VarPtr encoding = assemble_encoding(p_bar);
+        for (std::size_t c = 0; c < num_constraints; ++c) {
+          const nn::VarPtr cost =
+              constraints_[c].predictor->forward_var(encoding);
+          const nn::VarPtr violation = nn::ops::add_scalar(
+              nn::ops::scale(cost, 1.0 / constraints_[c].target), -1.0);
+          loss = nn::ops::add(
+              loss, nn::ops::scale(violation, lambdas[c].value()));
+          if (config_.penalty_mu != 0.0) {
+            loss = nn::ops::add(
+                loss, nn::ops::scale(nn::ops::mul(violation, violation),
+                                     config_.penalty_mu));
+          }
+          if (c == 0) {
+            sampled_cost_sum += static_cast<double>(cost->value.item());
+            ++sampled_cost_count;
+          }
+        }
+
+        alpha_optimizer.zero_grad();
+        // The supernet weights also receive gradients here; they are
+        // cleared without being applied (bi-level: alpha-only update).
+        nn::backward(loss);
+        alpha_optimizer.step();
+        for (const nn::VarPtr& param : supernet.weight_parameters()) {
+          param->zero_grad();
+        }
+
+        // Gradient ascent on each lambda (Eq 11): dL/dlambda_c =
+        // COST_c(alpha)/T_c - 1, where the architecture encoded by alpha
+        // is the argmax one of Eq (4) — NOT the Gumbel-sampled path,
+        // whose cost is a noisy draw centred on the distribution rather
+        // than on the encoding.
+        const space::Architecture derived = derive();
+        for (std::size_t c = 0; c < num_constraints; ++c) {
+          lambdas[c].step(constraints_[c].predictor->predict(derived) /
+                              constraints_[c].target -
+                          1.0);
+        }
+        ++result.alpha_updates;
+      }
+    }
+
+    // ---- telemetry ------------------------------------------------------
+    SearchEpochStats stats;
+    stats.epoch = epoch;
+    stats.tau = tau;
+    stats.derived = derive();
+    for (std::size_t c = 0; c < num_constraints; ++c) {
+      stats.lambdas.push_back(lambdas[c].value());
+      stats.predicted_costs.push_back(
+          constraints_[c].predictor->predict(stats.derived));
+    }
+    stats.lambda = stats.lambdas.front();
+    stats.predicted_cost = stats.predicted_costs.front();
+    stats.sampled_cost_mean =
+        sampled_cost_count > 0
+            ? sampled_cost_sum / static_cast<double>(sampled_cost_count)
+            : stats.predicted_cost;
+    {
+      const nn::VarPtr logits = supernet.forward_single_path(
+          task_->valid.features, stats.derived.ops());
+      const nn::VarPtr loss =
+          nn::ops::softmax_cross_entropy(logits, task_->valid.labels);
+      stats.valid_loss = static_cast<double>(loss->value.item());
+      stats.valid_accuracy =
+          nn::ops::accuracy(logits->value, task_->valid.labels);
+    }
+    if (config_.log_progress) {
+      util::log_info() << "epoch " << epoch << " tau=" << stats.tau
+                       << " lambda=" << stats.lambda << " cost="
+                       << stats.predicted_cost << " (target "
+                       << constraints_.front().target << ") valid_acc="
+                       << stats.valid_accuracy;
+    }
+    result.trace.push_back(std::move(stats));
+  }
+
+  // Worst-case relative constraint gap of an epoch snapshot.
+  auto gap_of = [&](const std::vector<double>& costs) {
+    double worst = 0.0;
+    for (std::size_t c = 0; c < num_constraints; ++c) {
+      worst = std::max(worst,
+                       std::abs(costs[c] - constraints_[c].target) /
+                           constraints_[c].target);
+    }
+    return worst;
+  };
+
+  result.architecture = derive();
+  if (config_.select_best_from_trace && !result.trace.empty()) {
+    const std::size_t window_start =
+        result.trace.size() - std::max<std::size_t>(
+                                  1, result.trace.size() / 4);
+    std::vector<double> final_costs;
+    for (const Constraint& constraint : constraints_) {
+      final_costs.push_back(constraint.predictor->predict(
+          result.architecture));
+    }
+    double best_gap = gap_of(final_costs);
+    for (std::size_t i = window_start; i < result.trace.size(); ++i) {
+      const double gap = gap_of(result.trace[i].predicted_costs);
+      if (gap < best_gap) {
+        best_gap = gap;
+        result.architecture = result.trace[i].derived;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < num_constraints; ++c) {
+    result.final_costs.push_back(
+        constraints_[c].predictor->predict(result.architecture));
+    result.final_lambdas.push_back(lambdas[c].value());
+  }
+  result.final_predicted_cost = result.final_costs.front();
+  result.final_lambda = result.final_lambdas.front();
+  return result;
+}
+
+}  // namespace lightnas::core

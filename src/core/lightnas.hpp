@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gumbel.hpp"
+#include "core/supernet.hpp"
+#include "nn/data.hpp"
+#include "predictors/predictor.hpp"
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+
+namespace lightnas::core {
+
+/// Hyper-parameters of one LightNAS run (Sec 4.1 "Architecture Search
+/// Settings", scaled to the surrogate substrate; the paper's values are
+/// noted inline).
+struct LightNasConfig {
+  /// The performance constraint T of Eq (10), in the predictor's unit
+  /// (ms for latency, mJ for energy).
+  double target = 24.0;
+
+  std::size_t epochs = 65;          // paper: 90
+  std::size_t warmup_epochs = 20;   // paper: 10 (w only, alpha frozen).
+                                    // Weight-shared blocks must be trained
+                                    // past the point where they beat the
+                                    // identity path before alpha updates
+                                    // begin, or the search collapses to
+                                    // SkipConnect (the classic DARTS
+                                    // failure mode).
+  std::size_t w_steps_per_epoch = 48;
+  std::size_t alpha_steps_per_epoch = 20;
+  std::size_t batch_size = 48;      // paper: 128
+
+  // Supernet weights w: SGD + momentum + cosine decay (paper: 0.1; our
+  // surrogate blocks need a hotter schedule to mature under weight
+  // sharing — see the warmup calibration test).
+  double w_lr = 0.15;
+  double w_momentum = 0.9;
+  double w_weight_decay = 3e-5;
+
+  // Architecture parameters alpha: Adam (paper: 1e-3 / wd 1e-3).
+  double alpha_lr = 1e-3;
+  double alpha_weight_decay = 1e-3;
+
+  // Trade-off coefficient lambda: gradient ascent, initialized at zero
+  // (Sec 3.4). The rate is scale-matched to the surrogate's loss
+  // magnitudes; the paper uses 5e-4 against ImageNet-100 CE losses.
+  double lambda_lr = 0.035;
+  double lambda_init = 0.0;
+
+  /// Augmented-Lagrangian damping: adds mu * (COST/T - 1)^2 to the alpha
+  /// objective. The lambda-ascent/alpha-descent pair is a double
+  /// integrator and oscillates around T; the quadratic term damps the
+  /// oscillation without changing the fixed point (COST = T). Setting 0
+  /// recovers Eq (10) exactly.
+  double penalty_mu = 4.0;
+
+  /// When true, the returned architecture is the derived snapshot from
+  /// the last quarter of epochs whose *predicted* cost is closest to T
+  /// (predictor-only, no extra measurements) instead of the very last
+  /// epoch — a cheap guard against landing on an oscillation peak.
+  bool select_best_from_trace = true;
+
+  // Gumbel-Softmax temperature (Sec 3.3): 5 decaying towards zero.
+  double tau_initial = 5.0;
+  double tau_final = 0.1;
+
+  std::uint64_t seed = 0;
+  bool log_progress = false;
+};
+
+/// One hardware constraint: drive `predictor`'s estimate of the derived
+/// architecture to `target`. The engine accepts several simultaneously
+/// (e.g. latency AND energy), each with its own learned multiplier —
+/// the natural extension of Eq (10) the paper's Sec 3.5 gestures at.
+struct Constraint {
+  const predictors::HardwarePredictor* predictor = nullptr;
+  double target = 0.0;
+};
+
+/// Per-epoch search telemetry; Figure 7 is drawn from these.
+struct SearchEpochStats {
+  std::size_t epoch = 0;
+  double tau = 0.0;
+  /// Multiplier / predicted cost of the FIRST constraint (convenience
+  /// mirrors for the common single-constraint case).
+  double lambda = 0.0;
+  double predicted_cost = 0.0;
+  /// Per-constraint values, in constructor order.
+  std::vector<double> lambdas;
+  std::vector<double> predicted_costs;
+  /// Mean predicted cost (first constraint) over the epoch's samples.
+  double sampled_cost_mean = 0.0;
+  double valid_loss = 0.0;
+  double valid_accuracy = 0.0;
+  space::Architecture derived;
+};
+
+struct SearchResult {
+  space::Architecture architecture;
+  std::vector<SearchEpochStats> trace;
+  double final_predicted_cost = 0.0;
+  double final_lambda = 0.0;
+  std::vector<double> final_costs;
+  std::vector<double> final_lambdas;
+  std::size_t weight_updates = 0;
+  std::size_t alpha_updates = 0;
+};
+
+/// The LightNAS engine (Sec 3): single-path differentiable search with a
+/// learned constraint multiplier.
+///
+/// One `search()` call runs the full bi-level loop of Eq (11):
+///  - w minimizes the training loss on sampled single paths;
+///  - alpha minimizes  L_valid + lambda * (COST(alpha)/T - 1)  through the
+///    Gumbel-Softmax relaxation (Eq 7), binarization with a straight-
+///    through estimator (Eq 9/12), and the differentiable predictor;
+///  - lambda rises/falls by gradient ascent on the same objective, which
+///    drives COST(alpha) -> T without any manual sweep — the paper's
+///    "you only search once" property.
+class LightNas {
+ public:
+  /// Single-constraint form (the paper's setting): the constraint target
+  /// is `config.target`.
+  LightNas(const space::SearchSpace& space,
+           const predictors::HardwarePredictor& predictor,
+           const nn::SyntheticTask& task, const SupernetConfig& supernet,
+           const LightNasConfig& config);
+
+  /// Multi-constraint form: each constraint carries its own target and
+  /// gets an independent lambda; `config.target` is ignored.
+  LightNas(const space::SearchSpace& space,
+           std::vector<Constraint> constraints,
+           const nn::SyntheticTask& task, const SupernetConfig& supernet,
+           const LightNasConfig& config);
+
+  SearchResult search();
+
+  const LightNasConfig& config() const { return config_; }
+  std::size_t num_constraints() const { return constraints_.size(); }
+
+ private:
+  const space::SearchSpace* space_;
+  std::vector<Constraint> constraints_;
+  const nn::SyntheticTask* task_;
+  SupernetConfig supernet_config_;
+  LightNasConfig config_;
+};
+
+}  // namespace lightnas::core

@@ -1,0 +1,68 @@
+#include "eval/accuracy_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lightnas::eval {
+
+namespace {
+
+constexpr double kSkipAnchorTop1 = 55.0;   // minimal all-skip stack
+constexpr double kMbv2AnchorTop1 = 72.0;   // Table 2: MobileNetV2
+
+}  // namespace
+
+AccuracyModel::AccuracyModel(const space::SearchSpace& space)
+    : space_(&space) {
+  // Solve B and S so the two anchor architectures land exactly on the
+  // paper's numbers for the given asymptote A:
+  //   A - B exp(-q_skip / S) = 55   (minimal network)
+  //   A - B exp(-q_mbv2 / S) = 72   (MobileNetV2, Table 2)
+  const double q0 =
+      capacity(space.uniform_architecture(space.ops().skip_index()));
+  const double q1 = capacity(space.mobilenet_v2_like());
+  assert(q1 > q0);
+  const double y0 = asymptote_ - kSkipAnchorTop1;
+  const double y1 = asymptote_ - kMbv2AnchorTop1;
+  assert(y0 > y1 && y1 > 0.0);
+  saturation_ = (q1 - q0) / std::log(y0 / y1);
+  range_ = y0 * std::exp(q0 / saturation_);
+}
+
+double AccuracyModel::op_capacity(const space::Operator& op) const {
+  if (op.kind == space::OpKind::kSkip) return 0.0;
+  return std::pow(static_cast<double>(op.expansion) / 6.0, 0.4) *
+         (1.0 + 0.3 * (static_cast<double>(op.kernel) - 3.0) / 2.0);
+}
+
+double AccuracyModel::stage_weight(std::size_t layer_index) const {
+  assert(layer_index < space_->num_layers());
+  return 0.6 + 0.1 * static_cast<double>(
+                         space_->layers()[layer_index].stage);
+}
+
+double AccuracyModel::capacity(const space::Architecture& arch) const {
+  assert(arch.num_layers() == space_->num_layers());
+  double q = 0.0;
+  for (std::size_t l = 0; l < space_->num_layers(); ++l) {
+    q += stage_weight(l) * op_capacity(space_->ops().op(arch.op_at(l)));
+  }
+  return q;
+}
+
+double AccuracyModel::top1(const space::Architecture& arch) const {
+  const double q = capacity(arch);
+  double acc = asymptote_ - range_ * std::exp(-q / saturation_);
+  if (arch.with_se()) acc += se_bonus_;
+  return acc;
+}
+
+double AccuracyModel::top5(const space::Architecture& arch) const {
+  return 100.0 - top5_error_ratio_ * (100.0 - top1(arch));
+}
+
+double AccuracyModel::quick_top1(const space::Architecture& arch) const {
+  return quick_slope_ * top1(arch) + quick_offset_;
+}
+
+}  // namespace lightnas::eval

@@ -1,0 +1,50 @@
+#include "eval/detection.hpp"
+
+#include <cassert>
+
+namespace lightnas::eval {
+
+namespace {
+
+// AP anchor: MobileNetV2 (top-1 72.0) scores AP 20.4 in Table 3; the
+// fitted slope across the table's backbones is ~0.38 AP per top-1 point.
+constexpr double kApAnchor = 20.4;
+constexpr double kApSlope = 0.38;
+
+// Sub-metric ratios averaged over the paper's Table 3 rows.
+constexpr double kAp50Ratio = 1.69;
+constexpr double kAp75Ratio = 1.005;
+constexpr double kApSmallRatio = 0.105;
+constexpr double kApMediumRatio = 0.975;
+constexpr double kApLargeRatio = 1.93;
+
+// SSDLite head (extra feature maps + class/box predictors) on the
+// simulated Xavier at batch 8.
+constexpr double kHeadLatencyMs = 26.0;
+
+}  // namespace
+
+DetectionEvaluator::DetectionEvaluator(const hw::DeviceProfile& device,
+                                       std::size_t batch_size)
+    : detection_space_(space::SearchSpace::scaled(1.0, 320)),
+      accuracy_(detection_space_),
+      cost_(device, batch_size) {}
+
+DetectionResult DetectionEvaluator::evaluate(
+    const space::Architecture& arch) const {
+  assert(arch.num_layers() == detection_space_.num_layers());
+  const double top1 = accuracy_.top1(arch);
+
+  DetectionResult result;
+  result.ap = kApAnchor + kApSlope * (top1 - 72.0);
+  result.ap50 = result.ap * kAp50Ratio;
+  result.ap75 = result.ap * kAp75Ratio;
+  result.ap_small = result.ap * kApSmallRatio;
+  result.ap_medium = result.ap * kApMediumRatio;
+  result.ap_large = result.ap * kApLargeRatio;
+  result.latency_ms =
+      cost_.network_latency_ms(detection_space_, arch) + kHeadLatencyMs;
+  return result;
+}
+
+}  // namespace lightnas::eval

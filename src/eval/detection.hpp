@@ -1,0 +1,42 @@
+#pragma once
+
+#include "eval/accuracy_model.hpp"
+#include "hw/cost_model.hpp"
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+
+namespace lightnas::eval {
+
+/// COCO-style detection metrics of an SSDLite detector built on a given
+/// backbone (paper Table 3).
+struct DetectionResult {
+  double ap = 0.0;
+  double ap50 = 0.0;
+  double ap75 = 0.0;
+  double ap_small = 0.0;
+  double ap_medium = 0.0;
+  double ap_large = 0.0;
+  double latency_ms = 0.0;
+};
+
+/// SSDLite-sim: surrogate for training SSDLite on COCO2017 with each
+/// backbone (see DESIGN.md substitutions). Detection AP is modelled as an
+/// affine function of backbone classification quality — the empirical
+/// relationship Table 3 itself demonstrates (better/faster backbones give
+/// better/faster detectors) — with the sub-metric ratios taken from the
+/// paper's rows. Detector latency = backbone at SSD's 320x320 input plus
+/// the SSDLite head measured on the simulated device.
+class DetectionEvaluator {
+ public:
+  DetectionEvaluator(const hw::DeviceProfile& device,
+                     std::size_t batch_size = 8);
+
+  DetectionResult evaluate(const space::Architecture& arch) const;
+
+ private:
+  space::SearchSpace detection_space_;  // 320x320 variant of the space
+  AccuracyModel accuracy_;
+  hw::CostModel cost_;
+};
+
+}  // namespace lightnas::eval

@@ -1,0 +1,83 @@
+#include "eval/search_cost.hpp"
+
+namespace lightnas::eval {
+
+std::vector<MethodProfile> method_profiles() {
+  std::vector<MethodProfile> profiles;
+
+  MethodProfile darts;
+  darts.name = "DARTS";
+  darts.paradigm = "Differentiable";
+  darts.differentiable = true;
+  darts.latency_optimization = false;
+  darts.specified_latency = false;
+  darts.proxyless = false;
+  darts.complexity = "O(K^2)";  // cell-level, all edges x all ops
+  darts.explicit_gpu_hours = 24.0;
+  darts.implicit_runs = 1.0;  // no latency target to sweep for
+  profiles.push_back(darts);
+
+  MethodProfile mnasnet;
+  mnasnet.name = "MnasNet";
+  mnasnet.paradigm = "Reinforcement";
+  mnasnet.differentiable = false;
+  mnasnet.latency_optimization = true;
+  mnasnet.specified_latency = true;
+  mnasnet.proxyless = true;
+  mnasnet.complexity = "O(1)";
+  mnasnet.explicit_gpu_hours = 40000.0;
+  mnasnet.implicit_runs = 1.0;
+  profiles.push_back(mnasnet);
+
+  MethodProfile ofa;
+  ofa.name = "OFA";
+  ofa.paradigm = "Evolution";
+  ofa.differentiable = false;
+  ofa.latency_optimization = true;
+  ofa.specified_latency = true;
+  ofa.proxyless = true;
+  ofa.complexity = "O(1)";
+  ofa.explicit_gpu_hours = 1275.0;
+  ofa.implicit_runs = 1.0;
+  profiles.push_back(ofa);
+
+  MethodProfile proxyless;
+  proxyless.name = "ProxylessNAS";
+  proxyless.paradigm = "Differentiable";
+  proxyless.differentiable = true;
+  proxyless.latency_optimization = true;
+  proxyless.specified_latency = false;  // soft penalty, lambda swept
+  proxyless.proxyless = true;
+  proxyless.complexity = "O(K^2)";  // two-path sampling over K ops
+  proxyless.explicit_gpu_hours = 200.0;  // paper Table 2 (216 in Table 1)
+  proxyless.implicit_runs = 10.0;        // Sec 2.2: empirically ~10
+  profiles.push_back(proxyless);
+
+  MethodProfile fbnet;
+  fbnet.name = "FBNet";
+  fbnet.paradigm = "Differentiable";
+  fbnet.differentiable = true;
+  fbnet.latency_optimization = true;
+  fbnet.specified_latency = false;  // soft penalty, lambda swept
+  fbnet.proxyless = true;
+  fbnet.complexity = "O(2^2)";  // as printed in the paper's Table 1
+  fbnet.explicit_gpu_hours = 216.0;
+  fbnet.implicit_runs = 10.0;
+  profiles.push_back(fbnet);
+
+  MethodProfile lightnas;
+  lightnas.name = "LightNAS (ours)";
+  lightnas.paradigm = "Differentiable";
+  lightnas.differentiable = true;
+  lightnas.latency_optimization = true;
+  lightnas.specified_latency = true;  // lambda learned: LAT -> T
+  lightnas.proxyless = true;
+  lightnas.complexity = "O(1)";  // single path
+  lightnas.explicit_gpu_hours = 10.0;
+  lightnas.implicit_runs = 1.0;  // you only search once
+  profiles.push_back(lightnas);
+
+  return profiles;
+}
+
+}  // namespace lightnas::eval

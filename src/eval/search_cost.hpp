@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lightnas::eval {
+
+/// Feature/cost profile of a NAS framework, mirroring the paper's
+/// Table 1. Reported GPU-hours are the literature numbers the paper
+/// cites; implicit_runs captures the hidden hyper-parameter sweep a
+/// method needs before it lands on a *specified* latency target
+/// (Sec 2.2: "empirically 10" trial-and-error runs for soft-penalty
+/// differentiable methods).
+struct MethodProfile {
+  std::string name;
+  std::string paradigm;           // Differentiable / RL / Evolution
+  bool differentiable = false;
+  bool latency_optimization = false;
+  bool specified_latency = false;  // can it *hit a given* latency?
+  bool proxyless = false;          // searches on the target task/hardware
+  std::string complexity;          // per-step optimization complexity
+  double explicit_gpu_hours = 0.0; // one search run (literature)
+  double implicit_runs = 1.0;      // runs needed to satisfy a target
+  double total_gpu_hours() const {
+    return explicit_gpu_hours * implicit_runs;
+  }
+};
+
+/// The six frameworks of the paper's Table 1:
+/// DARTS, MnasNet, OFA, ProxylessNAS, FBNet, LightNAS.
+std::vector<MethodProfile> method_profiles();
+
+/// Supernet-training cost model for our simulated substrate: converts
+/// counted optimizer steps into "supernet-step equivalents", the unit we
+/// report next to wall-clock so memory/complexity claims (single-path
+/// O(1) vs multi-path O(K)) are quantitative.
+struct SimulatedSearchCost {
+  std::size_t weight_updates = 0;
+  std::size_t alpha_updates = 0;
+  /// Paths evaluated per step: 1 for single-path, K for multi-path.
+  double paths_per_step = 1.0;
+  double step_equivalents() const {
+    return static_cast<double>(weight_updates + alpha_updates) *
+           paths_per_step;
+  }
+};
+
+}  // namespace lightnas::eval

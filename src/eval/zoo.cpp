@@ -1,0 +1,82 @@
+#include "eval/zoo.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace lightnas::eval {
+
+space::Architecture fit_architecture_to_latency(
+    const space::SearchSpace& space, const hw::CostModel& cost,
+    double target_ms, std::uint64_t seed, std::size_t iterations) {
+  util::Rng rng(seed * 0x100000001b3ULL + 0x811c9dc5ULL);
+  space::Architecture best = space.random_architecture(rng);
+  double best_gap =
+      std::abs(cost.network_latency_ms(space, best) - target_ms);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const space::Architecture candidate = space.mutate(best, 1, rng);
+    const double gap =
+        std::abs(cost.network_latency_ms(space, candidate) - target_ms);
+    if (gap < best_gap) {
+      best = candidate;
+      best_gap = gap;
+    }
+  }
+  return best;
+}
+
+std::vector<ZooEntry> architecture_zoo(const space::SearchSpace& space,
+                                       const hw::CostModel& cost) {
+  struct Spec {
+    const char* name;
+    const char* method;
+    double gpu_hours;
+    double top1;
+    double top5;  // <= 0: not reported
+    double latency_ms;
+    bool extra;
+  };
+  // Rows of the paper's Table 2 (excluding LightNets, which the caller
+  // produces by actually searching).
+  const Spec specs[] = {
+      {"MobileNetV2", "Manual", 0, 72.0, 91.0, 20.2, false},
+      {"ProxylessNAS", "Differentiable", 200, 74.6, 92.2, 21.2, false},
+      {"FBNet-A", "Differentiable", 216, 73.0, 90.9, 21.7, false},
+      {"OFA-S", "Evolution", 1275, 72.9, 91.1, 21.4, false},
+      {"MnasNet-B1", "Reinforcement", 40000, 74.5, 92.1, 20.1, false},
+      {"FBNet-B", "Differentiable", 216, 74.1, 91.8, 23.0, false},
+      {"MobileNetV3", "Manual", 0, 75.2, -1, 23.0, true},
+      {"MnasNet-A1", "Reinforcement", 40000, 75.2, 92.5, 22.9, true},
+      {"ProxylessNAS-24", "Differentiable", 200, 75.1, 92.5, 24.5, false},
+      {"UNAS", "Differentiable", 103, 75.3, 92.4, 24.2, false},
+      {"FBNet-Xavier", "Differentiable", 186, 74.6, 92.1, 24.1, false},
+      {"FBNet-C", "Differentiable", 216, 74.9, 92.3, 26.4, false},
+      {"OFA-M", "Evolution", 1275, 75.4, 92.4, 26.3, false},
+      {"OFA-L", "Evolution", 1275, 75.8, 92.7, 29.3, false},
+      {"ProxylessNAS-29", "Differentiable", 200, 75.3, -1, 29.9, false},
+      {"EfficientNet-B0", "Reinforcement", 0, 76.3, -1, 37.2, true},
+  };
+
+  std::vector<ZooEntry> zoo;
+  std::uint64_t seed = 1;
+  for (const Spec& spec : specs) {
+    ZooEntry entry;
+    entry.name = spec.name;
+    entry.method = spec.method;
+    entry.search_gpu_hours = spec.gpu_hours;
+    entry.reported_top1 = spec.top1;
+    entry.reported_top5 = spec.top5;
+    entry.reported_latency_ms = spec.latency_ms;
+    entry.extra_techniques = spec.extra;
+    entry.arch = (entry.name == "MobileNetV2")
+                     ? space.mobilenet_v2_like()
+                     : fit_architecture_to_latency(
+                           space, cost, spec.latency_ms, seed);
+    ++seed;
+    zoo.push_back(std::move(entry));
+  }
+  return zoo;
+}
+
+}  // namespace lightnas::eval

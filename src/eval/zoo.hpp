@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+
+namespace lightnas::eval {
+
+/// A named comparison architecture from the paper's Table 2 / Table 3:
+/// the literature-reported numbers plus a stand-in architecture in our
+/// search space whose *simulated* latency is fitted to the reported
+/// Xavier latency (so it can be pushed through the same evaluation
+/// pipeline as our searched LightNets).
+struct ZooEntry {
+  std::string name;
+  std::string method;             // Manual / Differentiable / ...
+  double search_gpu_hours = 0.0;  // 0 => "-" (manual design)
+  double reported_top1 = 0.0;
+  double reported_top5 = 0.0;     // <= 0 => not reported
+  double reported_latency_ms = 0.0;
+  bool extra_techniques = false;  // the dagger in Table 2 (SE/Swish)
+  space::Architecture arch;
+};
+
+/// Hill-climb a seeded random architecture until its noise-free simulated
+/// latency is as close as possible to `target_ms`.
+space::Architecture fit_architecture_to_latency(
+    const space::SearchSpace& space, const hw::CostModel& cost,
+    double target_ms, std::uint64_t seed, std::size_t iterations = 400);
+
+/// All Table-2 comparison rows. MobileNetV2 is the exact uniform-K3_E6
+/// stack; every other entry is latency-fitted.
+std::vector<ZooEntry> architecture_zoo(const space::SearchSpace& space,
+                                       const hw::CostModel& cost);
+
+}  // namespace lightnas::eval

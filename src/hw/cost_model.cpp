@@ -1,0 +1,335 @@
+#include "hw/cost_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "space/flops.hpp"
+
+namespace lightnas::hw {
+
+namespace {
+
+constexpr double kBytesPerElement = 4.0;  // fp32 activations/weights
+
+/// Extra synchronization/cold-start cost paid by *each* isolated per-op
+/// measurement when building a lookup table (device sync, cold cache,
+/// no inter-kernel pipelining). Summing 22 such entries produces the
+/// consistent multi-millisecond LUT offset the paper shows in Fig 5.
+constexpr double kIsolationSyncMs = 0.5;
+
+double out_resolution(const space::LayerSpec& layer) {
+  return static_cast<double>(
+      (layer.in_resolution + static_cast<std::size_t>(layer.stride) - 1) /
+      static_cast<std::size_t>(layer.stride));
+}
+
+}  // namespace
+
+CostModel::CostModel(DeviceProfile profile, std::size_t batch_size)
+    : profile_(std::move(profile)), batch_(batch_size) {
+  assert(batch_size > 0);
+}
+
+double CostModel::efficiency_for(const KernelWorkload& kernel) const {
+  double base = 0.0;
+  switch (kernel.kind) {
+    case KernelKind::kPointwise: base = profile_.pointwise_efficiency; break;
+    case KernelKind::kDepthwise: base = profile_.depthwise_efficiency; break;
+    case KernelKind::kDense: base = profile_.dense_efficiency; break;
+    case KernelKind::kElementwise: base = 1.0; break;
+  }
+  // Small channel counts underutilize the SM array.
+  const double util =
+      kernel.channels /
+      (kernel.channels + profile_.half_utilization_channels);
+  return base * util;
+}
+
+double CostModel::kernel_time_ms(const KernelWorkload& kernel) const {
+  double compute_ms = 0.0;
+  if (kernel.macs > 0.0) {
+    const double eff = efficiency_for(kernel);
+    compute_ms = kernel.macs / (profile_.peak_gmacs * 1e9 * eff) * 1e3;
+  }
+  const double bytes =
+      kernel.input_bytes + kernel.weight_bytes + kernel.output_bytes;
+  const double memory_ms =
+      bytes /
+      (profile_.memory_bandwidth_gbs * 1e9 * profile_.memory_efficiency) *
+      1e3;
+  return std::max(compute_ms, memory_ms);
+}
+
+std::vector<KernelWorkload> CostModel::operator_kernels(
+    const space::LayerSpec& layer, const space::Operator& op,
+    bool with_se) const {
+  const double b = static_cast<double>(batch_);
+  const double in_res = static_cast<double>(layer.in_resolution);
+  const double o_res = out_resolution(layer);
+  const double cin = static_cast<double>(layer.in_channels);
+  const double cout = static_cast<double>(layer.out_channels);
+
+  std::vector<KernelWorkload> kernels;
+
+  if (op.kind == space::OpKind::kSkip) {
+    const bool shape_preserving =
+        layer.stride == 1 && layer.in_channels == layer.out_channels;
+    if (shape_preserving) {
+      return kernels;  // identity: computation-free (Sec 3.1)
+    }
+    KernelWorkload projection;
+    projection.kind = KernelKind::kPointwise;
+    projection.macs = b * o_res * o_res * cin * cout;
+    projection.input_bytes = b * in_res * in_res * cin * kBytesPerElement;
+    projection.weight_bytes = cin * cout * kBytesPerElement;
+    projection.output_bytes = b * o_res * o_res * cout * kBytesPerElement;
+    projection.channels = cout;
+    kernels.push_back(projection);
+    return kernels;
+  }
+
+  assert(op.kind == space::OpKind::kMBConv);
+  const double expanded = cin * static_cast<double>(op.expansion);
+
+  KernelWorkload expand;
+  expand.kind = KernelKind::kPointwise;
+  expand.macs = b * in_res * in_res * cin * expanded;
+  expand.input_bytes = b * in_res * in_res * cin * kBytesPerElement;
+  expand.weight_bytes = cin * expanded * kBytesPerElement;
+  expand.output_bytes = b * in_res * in_res * expanded * kBytesPerElement;
+  expand.channels = expanded;
+  kernels.push_back(expand);
+
+  KernelWorkload depthwise;
+  depthwise.kind = KernelKind::kDepthwise;
+  depthwise.macs = b * o_res * o_res * expanded *
+                   static_cast<double>(op.kernel) *
+                   static_cast<double>(op.kernel);
+  depthwise.input_bytes =
+      b * in_res * in_res * expanded * kBytesPerElement;
+  depthwise.weight_bytes = expanded * static_cast<double>(op.kernel) *
+                           static_cast<double>(op.kernel) *
+                           kBytesPerElement;
+  depthwise.output_bytes = b * o_res * o_res * expanded * kBytesPerElement;
+  depthwise.channels = expanded;
+  kernels.push_back(depthwise);
+
+  if (with_se) {
+    const double hidden = expanded / 4.0;
+    KernelWorkload squeeze;  // global average pool
+    squeeze.kind = KernelKind::kElementwise;
+    squeeze.input_bytes = b * o_res * o_res * expanded * kBytesPerElement;
+    squeeze.output_bytes = b * expanded * kBytesPerElement;
+    squeeze.channels = expanded;
+    kernels.push_back(squeeze);
+
+    KernelWorkload excite;  // two tiny FC layers fused
+    excite.kind = KernelKind::kDense;
+    excite.macs = b * expanded * hidden * 2.0;
+    excite.input_bytes = b * expanded * kBytesPerElement;
+    excite.weight_bytes = expanded * hidden * 2.0 * kBytesPerElement;
+    excite.output_bytes = b * expanded * kBytesPerElement;
+    excite.channels = hidden;
+    kernels.push_back(excite);
+
+    KernelWorkload rescale;  // per-pixel channel rescale
+    rescale.kind = KernelKind::kElementwise;
+    rescale.input_bytes =
+        b * o_res * o_res * expanded * kBytesPerElement;
+    rescale.output_bytes =
+        b * o_res * o_res * expanded * kBytesPerElement;
+    rescale.channels = expanded;
+    kernels.push_back(rescale);
+  }
+
+  KernelWorkload project;
+  project.kind = KernelKind::kPointwise;
+  project.macs = b * o_res * o_res * expanded * cout;
+  project.input_bytes = b * o_res * o_res * expanded * kBytesPerElement;
+  project.weight_bytes = expanded * cout * kBytesPerElement;
+  project.output_bytes = b * o_res * o_res * cout * kBytesPerElement;
+  project.channels = cout;
+  kernels.push_back(project);
+
+  if (layer.stride == 1 && layer.in_channels == layer.out_channels) {
+    KernelWorkload residual;  // elementwise shortcut add
+    residual.kind = KernelKind::kElementwise;
+    residual.input_bytes =
+        2.0 * b * o_res * o_res * cout * kBytesPerElement;
+    residual.output_bytes = b * o_res * o_res * cout * kBytesPerElement;
+    residual.channels = cout;
+    kernels.push_back(residual);
+  }
+  return kernels;
+}
+
+LayerTiming CostModel::layer_timing(const space::LayerSpec& layer,
+                                    const space::Operator& op, bool with_se,
+                                    double prev_output_bytes) const {
+  std::vector<KernelWorkload> kernels =
+      operator_kernels(layer, op, with_se);
+  LayerTiming timing;
+  if (kernels.empty()) return timing;
+
+  // Cache residency: when the producing layer's output fits in L2, the
+  // first kernel's input reads mostly hit cache.
+  if (prev_output_bytes > 0.0 && prev_output_bytes <= profile_.cache_bytes) {
+    kernels.front().input_bytes *= (1.0 - profile_.cache_saving);
+  }
+
+  for (const KernelWorkload& kernel : kernels) {
+    const double t = kernel_time_ms(kernel);
+    double compute_ms = 0.0;
+    if (kernel.macs > 0.0) {
+      compute_ms = kernel.macs /
+                   (profile_.peak_gmacs * 1e9 * efficiency_for(kernel)) *
+                   1e3;
+    }
+    // Attribute the kernel to whichever roofline side dominates.
+    if (compute_ms >= t) {
+      timing.compute_ms += t;
+    } else {
+      timing.memory_ms += t;
+    }
+    timing.total_ms += t;
+    ++timing.kernels;
+  }
+  timing.overhead_ms =
+      static_cast<double>(timing.kernels) * profile_.kernel_launch_us / 1e3;
+  timing.total_ms += timing.overhead_ms;
+  return timing;
+}
+
+double CostModel::layer_output_bytes(const space::LayerSpec& layer) const {
+  const double o_res = out_resolution(layer);
+  return static_cast<double>(batch_) * o_res * o_res *
+         static_cast<double>(layer.out_channels) * kBytesPerElement;
+}
+
+CostModel::NetworkBreakdown CostModel::network_breakdown(
+    const space::SearchSpace& space, const space::Architecture& arch) const {
+  assert(arch.num_layers() == space.num_layers());
+  const double b = static_cast<double>(batch_);
+  NetworkBreakdown net;
+  double layer_sum_ms = 0.0;
+
+  // --- stem: 3x3 conv stride 2, 3 -> stem channels ---------------------
+  const double stem_res = static_cast<double>(space.input_resolution()) / 2.0;
+  KernelWorkload stem;
+  stem.kind = KernelKind::kDense;
+  stem.macs = b * stem_res * stem_res * 3.0 *
+              static_cast<double>(space.stem_channels()) * 9.0;
+  stem.input_bytes = b * static_cast<double>(space.input_resolution()) *
+                     static_cast<double>(space.input_resolution()) * 3.0 *
+                     kBytesPerElement;
+  stem.weight_bytes = 3.0 * static_cast<double>(space.stem_channels()) *
+                      9.0 * kBytesPerElement;
+  stem.output_bytes = b * stem_res * stem_res *
+                      static_cast<double>(space.stem_channels()) *
+                      kBytesPerElement;
+  stem.channels = static_cast<double>(space.stem_channels());
+  {
+    const double t =
+        kernel_time_ms(stem) + profile_.kernel_launch_us / 1e3;
+    layer_sum_ms += t;
+    net.compute_ms += t;  // stem is compute-bound on every profile we ship
+  }
+  double prev_bytes = stem.output_bytes;
+
+  // --- candidate layers -------------------------------------------------
+  for (std::size_t l = 0; l < space.num_layers(); ++l) {
+    const space::LayerSpec& layer = space.layers()[l];
+    const bool se = arch.with_se() && space::se_applies_at(space, l);
+    const LayerTiming t = layer_timing(
+        layer, space.ops().op(arch.op_at(l)), se, prev_bytes);
+    layer_sum_ms += t.total_ms;
+    net.compute_ms += t.compute_ms;
+    net.memory_ms += t.memory_ms + t.overhead_ms;
+    // Identity skip layers pass the producer's tensor through unchanged,
+    // so the cache-interaction context is preserved.
+    if (t.kernels > 0) prev_bytes = layer_output_bytes(layer);
+  }
+
+  // --- head: 1x1 conv -> pool -> FC -------------------------------------
+  const space::LayerSpec& last = space.layers().back();
+  const double final_res = out_resolution(last);
+  KernelWorkload head_conv;
+  head_conv.kind = KernelKind::kPointwise;
+  head_conv.macs = b * final_res * final_res *
+                   static_cast<double>(last.out_channels) *
+                   static_cast<double>(space.head_channels());
+  head_conv.input_bytes = b * final_res * final_res *
+                          static_cast<double>(last.out_channels) *
+                          kBytesPerElement;
+  head_conv.weight_bytes = static_cast<double>(last.out_channels) *
+                           static_cast<double>(space.head_channels()) *
+                           kBytesPerElement;
+  head_conv.output_bytes = b * final_res * final_res *
+                           static_cast<double>(space.head_channels()) *
+                           kBytesPerElement;
+  head_conv.channels = static_cast<double>(space.head_channels());
+
+  KernelWorkload pool;
+  pool.kind = KernelKind::kElementwise;
+  pool.input_bytes = head_conv.output_bytes;
+  pool.output_bytes =
+      b * static_cast<double>(space.head_channels()) * kBytesPerElement;
+  pool.channels = static_cast<double>(space.head_channels());
+
+  KernelWorkload fc;
+  fc.kind = KernelKind::kDense;
+  fc.macs = b * static_cast<double>(space.head_channels()) *
+            static_cast<double>(space.num_classes());
+  fc.input_bytes = pool.output_bytes;
+  fc.weight_bytes = static_cast<double>(space.head_channels()) *
+                    static_cast<double>(space.num_classes()) *
+                    kBytesPerElement;
+  fc.output_bytes =
+      b * static_cast<double>(space.num_classes()) * kBytesPerElement;
+  fc.channels = static_cast<double>(space.num_classes());
+
+  for (const KernelWorkload& kernel : {head_conv, pool, fc}) {
+    const double t =
+        kernel_time_ms(kernel) + profile_.kernel_launch_us / 1e3;
+    layer_sum_ms += t;
+    if (kernel.kind == KernelKind::kElementwise) {
+      net.memory_ms += t;
+    } else {
+      net.compute_ms += t;
+    }
+  }
+
+  net.latency_ms =
+      profile_.network_overhead_ms + profile_.overlap_factor * layer_sum_ms;
+  return net;
+}
+
+double CostModel::network_latency_ms(const space::SearchSpace& space,
+                                     const space::Architecture& arch) const {
+  return network_breakdown(space, arch).latency_ms;
+}
+
+double CostModel::network_energy_mj(const space::SearchSpace& space,
+                                    const space::Architecture& arch) const {
+  const NetworkBreakdown net = network_breakdown(space, arch);
+  // W * ms = mJ. Dynamic power applies to busy phases (scaled by the same
+  // overlap factor as latency); static power burns for the full run.
+  const double dynamic_mj =
+      profile_.overlap_factor * (net.compute_ms * profile_.compute_power_w +
+                                 net.memory_ms * profile_.memory_power_w);
+  return dynamic_mj + net.latency_ms * profile_.static_power_w;
+}
+
+double CostModel::isolated_operator_latency_ms(
+    const space::LayerSpec& layer, const space::Operator& op,
+    bool with_se) const {
+  // Isolated measurements never benefit from warm caches or pipelining
+  // and pay a per-measurement sync cost.
+  const LayerTiming t =
+      layer_timing(layer, op, with_se, /*prev_output_bytes=*/0.0);
+  if (t.kernels == 0) return kIsolationSyncMs;  // even a no-op sync costs
+  return t.total_ms + kIsolationSyncMs;
+}
+
+}  // namespace lightnas::hw

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+
+namespace lightnas::hw {
+
+/// Kernel class; determines the efficiency bucket in the roofline model.
+enum class KernelKind { kPointwise, kDepthwise, kDense, kElementwise };
+
+/// Workload of one GPU kernel: arithmetic plus memory traffic.
+struct KernelWorkload {
+  KernelKind kind = KernelKind::kPointwise;
+  double macs = 0.0;
+  double input_bytes = 0.0;
+  double weight_bytes = 0.0;
+  double output_bytes = 0.0;
+  /// Channel dimension driving SM utilization.
+  double channels = 1.0;
+};
+
+/// Timing breakdown of one macro layer (one operator instance).
+struct LayerTiming {
+  double total_ms = 0.0;
+  double compute_ms = 0.0;   ///< time attributed to compute-bound kernels
+  double memory_ms = 0.0;    ///< time attributed to memory-bound kernels
+  double overhead_ms = 0.0;  ///< kernel launch overheads
+  int kernels = 0;
+};
+
+/// Deterministic analytical latency/energy model of a DeviceProfile.
+///
+/// The network latency decomposes as
+///   overhead + overlap * sum_l t_l(context)
+/// where t_l depends on the *previous* layer via a cache-residency term —
+/// a genuine inter-layer interaction that an additive per-op lookup table
+/// cannot express (this is what separates Fig 5 left from Fig 5 right).
+class CostModel {
+ public:
+  CostModel(DeviceProfile profile, std::size_t batch_size = 8);
+
+  const DeviceProfile& profile() const { return profile_; }
+  std::size_t batch_size() const { return batch_; }
+
+  /// Roofline time of one kernel in milliseconds (launch overhead
+  /// excluded; the caller accounts for it per layer).
+  double kernel_time_ms(const KernelWorkload& kernel) const;
+
+  /// Decompose an operator instance into its kernels.
+  /// `cached_input_bytes` is the number of input bytes assumed L2-resident
+  /// (0 for an isolated measurement).
+  std::vector<KernelWorkload> operator_kernels(
+      const space::LayerSpec& layer, const space::Operator& op,
+      bool with_se) const;
+
+  /// Timing of one operator instance. `prev_output_bytes` enables the
+  /// cache-residency discount when the producer's output fits in cache.
+  LayerTiming layer_timing(const space::LayerSpec& layer,
+                           const space::Operator& op, bool with_se,
+                           double prev_output_bytes) const;
+
+  /// Output tensor size of a layer in bytes (batch included).
+  double layer_output_bytes(const space::LayerSpec& layer) const;
+
+  /// Deterministic end-to-end latency of an architecture, milliseconds.
+  double network_latency_ms(const space::SearchSpace& space,
+                            const space::Architecture& arch) const;
+
+  /// Deterministic inference energy of an architecture, millijoules.
+  double network_energy_mj(const space::SearchSpace& space,
+                           const space::Architecture& arch) const;
+
+  /// Latency of one operator measured in isolation (cold cache, its own
+  /// sync overhead) — how lookup-table entries are built in practice.
+  /// The paper's Fig 5 (right) shows why this is systematically biased.
+  double isolated_operator_latency_ms(const space::LayerSpec& layer,
+                                      const space::Operator& op,
+                                      bool with_se = false) const;
+
+ private:
+  struct NetworkBreakdown {
+    double latency_ms = 0.0;
+    double compute_ms = 0.0;
+    double memory_ms = 0.0;
+  };
+  NetworkBreakdown network_breakdown(const space::SearchSpace& space,
+                                     const space::Architecture& arch) const;
+
+  double efficiency_for(const KernelWorkload& kernel) const;
+
+  DeviceProfile profile_;
+  std::size_t batch_;
+};
+
+}  // namespace lightnas::hw

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+
+namespace lightnas::hw {
+
+/// Analytical profile of an embedded inference device.
+///
+/// This is the repo's stand-in for physical hardware (the paper measures a
+/// Nvidia Jetson AGX Xavier in MAXN mode). The numbers parameterize a
+/// roofline-style cost model: each kernel is either compute-bound
+/// (MACs / effective-throughput) or memory-bound (bytes / bandwidth) and
+/// pays a fixed launch overhead. Depthwise convolutions have very low
+/// arithmetic intensity and effective utilization, which is precisely why
+/// FLOPs is a poor latency proxy on real devices (paper Fig. 2).
+struct DeviceProfile {
+  std::string name;
+
+  // --- throughput ---------------------------------------------------
+  double peak_gmacs = 1000.0;          ///< peak multiply-accumulates / s, in 1e9
+  double memory_bandwidth_gbs = 100.0; ///< DRAM bandwidth, GB/s
+
+  /// Effective utilization of peak throughput per kernel class.
+  double pointwise_efficiency = 0.45;  ///< 1x1 convolutions (GEMM-like)
+  double depthwise_efficiency = 0.08;  ///< depthwise kxk (bandwidth starved)
+  double dense_efficiency = 0.55;      ///< stem conv / head conv / FC
+  double memory_efficiency = 0.70;     ///< achieved fraction of peak DRAM bw
+
+  /// Channel count at which a kernel reaches half of its class
+  /// efficiency; small layers underutilize the SMs.
+  double half_utilization_channels = 48.0;
+
+  // --- overheads ------------------------------------------------------
+  double kernel_launch_us = 11.0;   ///< per-kernel dispatch latency
+  double network_overhead_ms = 1.1; ///< per-inference fixed cost (I/O, sync)
+
+  /// Fraction of the naive per-layer time sum actually observed on a
+  /// full-network run: consecutive kernels pipeline/fuse slightly.
+  double overlap_factor = 0.93;
+
+  /// L2/SLC cache size in bytes. When one layer's output fits, the next
+  /// layer's input reads mostly hit cache — an inter-layer interaction a
+  /// per-op lookup table cannot represent.
+  double cache_bytes = 4.0 * 1024 * 1024;
+  /// Fraction of input-read traffic saved on a cache hit.
+  double cache_saving = 0.65;
+
+  // --- energy ---------------------------------------------------------
+  double compute_power_w = 26.0;  ///< dynamic power when compute-bound
+  double memory_power_w = 13.0;   ///< dynamic power when memory-bound
+  double static_power_w = 9.0;    ///< rail/idle power drawn for the whole run
+
+  // --- measurement noise ----------------------------------------------
+  double latency_noise_ms = 0.03;   ///< repeat-measurement jitter (stddev)
+  double energy_noise_frac = 0.02;  ///< thermal noise on energy (relative)
+
+  /// Jetson AGX Xavier, MAXN power mode, batch 8 — the paper's platform.
+  static DeviceProfile jetson_xavier_maxn();
+  /// Xavier capped at the 30 W nvpmodel: lower GPU/EMC clocks. The paper
+  /// measures under MAXN; these modes exercise constraint retargeting
+  /// when the deployment power budget changes.
+  static DeviceProfile jetson_xavier_30w();
+  /// Xavier capped at the 15 W nvpmodel (half the GPU clocks again).
+  static DeviceProfile jetson_xavier_15w();
+  /// A smaller, bandwidth-starved device (Jetson-Nano-like) used by the
+  /// generality tests and the custom-hardware example.
+  static DeviceProfile jetson_nano_like();
+  /// A systolic-array accelerator profile: very high GEMM efficiency,
+  /// punishing depthwise ops — exercises predictor retargeting.
+  static DeviceProfile edge_accelerator_like();
+};
+
+}  // namespace lightnas::hw

@@ -1,0 +1,51 @@
+#include "hw/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lightnas::hw {
+
+HardwareSimulator::HardwareSimulator(DeviceProfile profile,
+                                     std::size_t batch_size,
+                                     std::uint64_t seed)
+    : model_(std::move(profile), batch_size), rng_(seed) {}
+
+double HardwareSimulator::measure_latency_ms(
+    const space::SearchSpace& space, const space::Architecture& arch) {
+  const double truth = model_.network_latency_ms(space, arch);
+  return std::max(0.0,
+                  truth + rng_.normal(0.0, profile().latency_noise_ms));
+}
+
+double HardwareSimulator::measure_latency_ms(
+    const space::SearchSpace& space, const space::Architecture& arch,
+    std::size_t repeats) {
+  assert(repeats > 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    total += measure_latency_ms(space, arch);
+  }
+  return total / static_cast<double>(repeats);
+}
+
+double HardwareSimulator::measure_energy_mj(
+    const space::SearchSpace& space, const space::Architecture& arch) {
+  // Thermal state wanders slowly around 1.0: successive measurements are
+  // correlated, exactly like a heating/cooling board.
+  thermal_state_ += rng_.normal(0.0, 0.004);
+  thermal_state_ = std::clamp(thermal_state_, 0.97, 1.05);
+  const double truth = model_.network_energy_mj(space, arch);
+  const double relative_noise =
+      rng_.normal(0.0, profile().energy_noise_frac);
+  return std::max(0.0, truth * thermal_state_ * (1.0 + relative_noise));
+}
+
+double HardwareSimulator::measure_isolated_op_ms(
+    const space::LayerSpec& layer, const space::Operator& op, bool with_se) {
+  const double truth =
+      model_.isolated_operator_latency_ms(layer, op, with_se);
+  return std::max(0.0,
+                  truth + rng_.normal(0.0, profile().latency_noise_ms));
+}
+
+}  // namespace lightnas::hw

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hw/cost_model.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::hw {
+
+/// The "device on the bench": wraps the deterministic CostModel with the
+/// measurement imperfections a real profiling campaign sees — repeat
+/// jitter on latency and slow thermal drift on energy (the paper calls
+/// the latter out explicitly in Sec 4.3). All predictor training data is
+/// drawn through this class, never from the noise-free model, so the
+/// predictors are evaluated under realistic conditions.
+class HardwareSimulator {
+ public:
+  HardwareSimulator(DeviceProfile profile, std::size_t batch_size = 8,
+                    std::uint64_t seed = 42);
+
+  const CostModel& model() const { return model_; }
+  const DeviceProfile& profile() const { return model_.profile(); }
+
+  /// One noisy end-to-end latency measurement, in milliseconds.
+  double measure_latency_ms(const space::SearchSpace& space,
+                            const space::Architecture& arch);
+
+  /// Mean of `repeats` measurements (standard profiling practice).
+  double measure_latency_ms(const space::SearchSpace& space,
+                            const space::Architecture& arch,
+                            std::size_t repeats);
+
+  /// One noisy energy measurement, in millijoules. Includes a slowly
+  /// wandering thermal state shared across successive measurements.
+  double measure_energy_mj(const space::SearchSpace& space,
+                           const space::Architecture& arch);
+
+  /// Noisy isolated per-operator measurement (lookup-table construction).
+  double measure_isolated_op_ms(const space::LayerSpec& layer,
+                                const space::Operator& op,
+                                bool with_se = false);
+
+ private:
+  CostModel model_;
+  util::Rng rng_;
+  double thermal_state_ = 1.0;
+};
+
+}  // namespace lightnas::hw

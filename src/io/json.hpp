@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lightnas::io {
+
+/// Minimal JSON document model — enough to persist predictors, datasets
+/// and search results without external dependencies. Numbers are stored
+/// as double (round-trip safe for the float32 weights we serialize);
+/// object keys keep insertion order irrelevant (std::map).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  explicit Json(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Json(double v) : type_(Type::kNumber), number_(v) {}
+  explicit Json(int v) : Json(static_cast<double>(v)) {}
+  explicit Json(std::size_t v) : Json(static_cast<double>(v)) {}
+  explicit Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit Json(const char* s) : Json(std::string(s)) {}
+
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  // --- accessors (assert on type mismatch) ---------------------------
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& as_array() const;
+  const std::map<std::string, Json>& as_object() const;
+
+  // --- builders --------------------------------------------------------
+  void push_back(Json value);                       // array
+  void set(const std::string& key, Json value);     // object
+  bool contains(const std::string& key) const;      // object
+  const Json& at(const std::string& key) const;     // object
+  const Json& at(std::size_t index) const;          // array
+  std::size_t size() const;                         // array/object
+
+  /// Compact serialization (no insignificant whitespace).
+  std::string dump() const;
+
+  /// Parse; throws std::runtime_error with position info on bad input.
+  static Json parse(const std::string& text);
+
+  // --- convenience for numeric vectors --------------------------------
+  static Json from_doubles(const std::vector<double>& values);
+  static Json from_floats(const std::vector<float>& values);
+  std::vector<double> to_doubles() const;
+  std::vector<float> to_floats() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+/// Whole-file helpers; throw std::runtime_error on I/O failure.
+void write_json_file(const std::string& path, const Json& value);
+Json read_json_file(const std::string& path);
+
+}  // namespace lightnas::io

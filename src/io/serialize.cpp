@@ -1,0 +1,183 @@
+#include "io/serialize.hpp"
+
+#include <stdexcept>
+
+namespace lightnas::io {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+void check_header(const Json& json, const std::string& kind) {
+  if (!json.contains("kind") || json.at("kind").as_string() != kind) {
+    throw std::runtime_error("file is not a '" + kind + "' artifact");
+  }
+  if (static_cast<int>(json.at("version").as_number()) != kFormatVersion) {
+    throw std::runtime_error("unsupported '" + kind + "' format version");
+  }
+}
+
+}  // namespace
+
+// --- predictors ---------------------------------------------------------
+
+Json predictor_to_json(const predictors::MlpPredictor& predictor) {
+  const predictors::MlpPredictor::State state = predictor.export_state();
+  Json json = Json::object();
+  json.set("kind", Json("lightnas.predictor.mlp"));
+  json.set("version", Json(kFormatVersion));
+  json.set("num_layers", Json(state.num_layers));
+  json.set("num_ops", Json(state.num_ops));
+  json.set("unit", Json(state.unit));
+  json.set("target_mean", Json(state.target_mean));
+  json.set("target_std", Json(state.target_std));
+  json.set("trained", Json(state.trained));
+  Json tensors = Json::array();
+  for (std::size_t i = 0; i < state.tensors.size(); ++i) {
+    Json tensor = Json::object();
+    tensor.set("rows", Json(state.shapes[i].first));
+    tensor.set("cols", Json(state.shapes[i].second));
+    tensor.set("data", Json::from_floats(state.tensors[i]));
+    tensors.push_back(std::move(tensor));
+  }
+  json.set("tensors", std::move(tensors));
+  return json;
+}
+
+predictors::MlpPredictor predictor_from_json(const Json& json) {
+  check_header(json, "lightnas.predictor.mlp");
+  predictors::MlpPredictor::State state;
+  state.num_layers =
+      static_cast<std::size_t>(json.at("num_layers").as_number());
+  state.num_ops = static_cast<std::size_t>(json.at("num_ops").as_number());
+  state.unit = json.at("unit").as_string();
+  state.target_mean = json.at("target_mean").as_number();
+  state.target_std = json.at("target_std").as_number();
+  state.trained = json.at("trained").as_bool();
+  for (const Json& tensor : json.at("tensors").as_array()) {
+    state.shapes.emplace_back(
+        static_cast<std::size_t>(tensor.at("rows").as_number()),
+        static_cast<std::size_t>(tensor.at("cols").as_number()));
+    state.tensors.push_back(tensor.at("data").to_floats());
+  }
+  return predictors::MlpPredictor::from_state(state);
+}
+
+void save_predictor(const std::string& path,
+                    const predictors::MlpPredictor& predictor) {
+  write_json_file(path, predictor_to_json(predictor));
+}
+
+predictors::MlpPredictor load_predictor(const std::string& path) {
+  return predictor_from_json(read_json_file(path));
+}
+
+// --- measurement datasets -------------------------------------------------
+
+Json dataset_to_json(const predictors::MeasurementDataset& data,
+                     std::size_t num_ops) {
+  Json json = Json::object();
+  json.set("kind", Json("lightnas.dataset"));
+  json.set("version", Json(kFormatVersion));
+  json.set("num_ops", Json(num_ops));
+  Json rows = Json::array();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Json row = Json::object();
+    row.set("arch", Json(data.architectures[i].serialize()));
+    row.set("target", Json(data.targets[i]));
+    rows.push_back(std::move(row));
+  }
+  json.set("rows", std::move(rows));
+  return json;
+}
+
+predictors::MeasurementDataset dataset_from_json(const Json& json) {
+  check_header(json, "lightnas.dataset");
+  const auto num_ops =
+      static_cast<std::size_t>(json.at("num_ops").as_number());
+  predictors::MeasurementDataset data;
+  for (const Json& row : json.at("rows").as_array()) {
+    space::Architecture arch =
+        space::Architecture::deserialize(row.at("arch").as_string());
+    data.encodings.push_back(arch.encode_one_hot(num_ops));
+    data.architectures.push_back(std::move(arch));
+    data.targets.push_back(row.at("target").as_number());
+  }
+  return data;
+}
+
+void save_dataset(const std::string& path,
+                  const predictors::MeasurementDataset& data,
+                  std::size_t num_ops) {
+  write_json_file(path, dataset_to_json(data, num_ops));
+}
+
+predictors::MeasurementDataset load_dataset(const std::string& path) {
+  return dataset_from_json(read_json_file(path));
+}
+
+// --- search results ---------------------------------------------------
+
+Json search_result_to_json(const core::SearchResult& result) {
+  Json json = Json::object();
+  json.set("kind", Json("lightnas.search_result"));
+  json.set("version", Json(kFormatVersion));
+  json.set("architecture", Json(result.architecture.serialize()));
+  json.set("final_predicted_cost", Json(result.final_predicted_cost));
+  json.set("final_lambda", Json(result.final_lambda));
+  json.set("weight_updates", Json(result.weight_updates));
+  json.set("alpha_updates", Json(result.alpha_updates));
+  Json trace = Json::array();
+  for (const core::SearchEpochStats& stats : result.trace) {
+    Json row = Json::object();
+    row.set("epoch", Json(stats.epoch));
+    row.set("tau", Json(stats.tau));
+    row.set("lambda", Json(stats.lambda));
+    row.set("predicted_cost", Json(stats.predicted_cost));
+    row.set("sampled_cost_mean", Json(stats.sampled_cost_mean));
+    row.set("valid_loss", Json(stats.valid_loss));
+    row.set("valid_accuracy", Json(stats.valid_accuracy));
+    row.set("derived", Json(stats.derived.serialize()));
+    trace.push_back(std::move(row));
+  }
+  json.set("trace", std::move(trace));
+  return json;
+}
+
+core::SearchResult search_result_from_json(const Json& json) {
+  check_header(json, "lightnas.search_result");
+  core::SearchResult result;
+  result.architecture =
+      space::Architecture::deserialize(json.at("architecture").as_string());
+  result.final_predicted_cost = json.at("final_predicted_cost").as_number();
+  result.final_lambda = json.at("final_lambda").as_number();
+  result.weight_updates =
+      static_cast<std::size_t>(json.at("weight_updates").as_number());
+  result.alpha_updates =
+      static_cast<std::size_t>(json.at("alpha_updates").as_number());
+  for (const Json& row : json.at("trace").as_array()) {
+    core::SearchEpochStats stats;
+    stats.epoch = static_cast<std::size_t>(row.at("epoch").as_number());
+    stats.tau = row.at("tau").as_number();
+    stats.lambda = row.at("lambda").as_number();
+    stats.predicted_cost = row.at("predicted_cost").as_number();
+    stats.sampled_cost_mean = row.at("sampled_cost_mean").as_number();
+    stats.valid_loss = row.at("valid_loss").as_number();
+    stats.valid_accuracy = row.at("valid_accuracy").as_number();
+    stats.derived =
+        space::Architecture::deserialize(row.at("derived").as_string());
+    result.trace.push_back(std::move(stats));
+  }
+  return result;
+}
+
+void save_search_result(const std::string& path,
+                        const core::SearchResult& result) {
+  write_json_file(path, search_result_to_json(result));
+}
+
+core::SearchResult load_search_result(const std::string& path) {
+  return search_result_from_json(read_json_file(path));
+}
+
+}  // namespace lightnas::io

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "core/lightnas.hpp"
+#include "io/json.hpp"
+#include "predictors/dataset.hpp"
+#include "predictors/mlp_predictor.hpp"
+#include "space/architecture.hpp"
+
+namespace lightnas::io {
+
+/// Persistence for the artifacts a deployment pipeline wants to keep:
+/// the trained predictor (the expensive measurement campaign), the raw
+/// measurement dataset, and search results with their traces. All files
+/// are self-describing JSON with a `kind` + `version` header.
+
+// --- predictors ---------------------------------------------------------
+
+Json predictor_to_json(const predictors::MlpPredictor& predictor);
+predictors::MlpPredictor predictor_from_json(const Json& json);
+
+void save_predictor(const std::string& path,
+                    const predictors::MlpPredictor& predictor);
+predictors::MlpPredictor load_predictor(const std::string& path);
+
+// --- measurement datasets -------------------------------------------------
+
+Json dataset_to_json(const predictors::MeasurementDataset& data,
+                     std::size_t num_ops);
+predictors::MeasurementDataset dataset_from_json(const Json& json);
+
+void save_dataset(const std::string& path,
+                  const predictors::MeasurementDataset& data,
+                  std::size_t num_ops);
+predictors::MeasurementDataset load_dataset(const std::string& path);
+
+// --- search results ---------------------------------------------------
+
+Json search_result_to_json(const core::SearchResult& result);
+core::SearchResult search_result_from_json(const Json& json);
+
+void save_search_result(const std::string& path,
+                        const core::SearchResult& result);
+core::SearchResult load_search_result(const std::string& path);
+
+}  // namespace lightnas::io

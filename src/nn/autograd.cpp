@@ -1,0 +1,78 @@
+#include "nn/autograd.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace lightnas::nn {
+
+void Var::ensure_grad() {
+  if (!grad.same_shape(value)) {
+    grad = Tensor::zeros(value.rows(), value.cols());
+  }
+}
+
+void Var::zero_grad() {
+  if (grad.same_shape(value)) {
+    grad.fill(0.0f);
+  } else {
+    grad = Tensor::zeros(value.rows(), value.cols());
+  }
+}
+
+VarPtr make_leaf(Tensor value, std::string name) {
+  auto v = std::make_shared<Var>();
+  v->value = std::move(value);
+  v->requires_grad = true;
+  v->name = std::move(name);
+  return v;
+}
+
+VarPtr make_const(Tensor value, std::string name) {
+  auto v = std::make_shared<Var>();
+  v->value = std::move(value);
+  v->requires_grad = false;
+  v->name = std::move(name);
+  return v;
+}
+
+namespace {
+
+void topo_sort(const VarPtr& node, std::unordered_set<Var*>& visited,
+               std::vector<VarPtr>& order) {
+  if (!node || visited.count(node.get()) != 0) return;
+  visited.insert(node.get());
+  for (const VarPtr& parent : node->parents) {
+    topo_sort(parent, visited, order);
+  }
+  order.push_back(node);
+}
+
+}  // namespace
+
+void backward(const VarPtr& root) {
+  assert(root);
+  assert(root->value.rows() == 1 && root->value.cols() == 1 &&
+         "backward() requires a scalar root");
+
+  std::unordered_set<Var*> visited;
+  std::vector<VarPtr> order;
+  topo_sort(root, visited, order);
+
+  for (const VarPtr& node : order) node->ensure_grad();
+  root->grad.fill(1.0f);
+
+  // `order` is parents-before-children; traverse children-first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Var& node = **it;
+    if (node.backward_fn) node.backward_fn(node);
+  }
+}
+
+std::size_t graph_size(const VarPtr& root) {
+  std::unordered_set<Var*> visited;
+  std::vector<VarPtr> order;
+  topo_sort(root, visited, order);
+  return order.size();
+}
+
+}  // namespace lightnas::nn

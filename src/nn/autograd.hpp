@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace lightnas::nn {
+
+struct Var;
+using VarPtr = std::shared_ptr<Var>;
+
+/// Node in the reverse-mode autodiff graph.
+///
+/// Each operation in ops.hpp produces a fresh Var whose `backward_fn`
+/// scatters the node's accumulated gradient into its parents. Parameters
+/// are leaf Vars that persist across forward passes; a new graph is built
+/// on every forward and torn down when the loss Var goes out of scope
+/// (parents are held by shared_ptr, so the loss root keeps the graph
+/// alive exactly as long as needed — classic RAII, no manual frees).
+struct Var {
+  Tensor value;
+  Tensor grad;  // same shape as value; lazily allocated by backward()
+  bool requires_grad = false;
+  std::vector<VarPtr> parents;
+  /// Propagates this->grad into parents' grads. Null for leaves.
+  std::function<void(Var&)> backward_fn;
+  /// Optional label for debugging / gradcheck diagnostics.
+  std::string name;
+
+  void ensure_grad();
+  void zero_grad();
+};
+
+/// Create a trainable leaf (parameter or input requiring gradient).
+VarPtr make_leaf(Tensor value, std::string name = {});
+
+/// Create a constant (no gradient tracked).
+VarPtr make_const(Tensor value, std::string name = {});
+
+/// Run reverse-mode accumulation from `root`, which must be a scalar
+/// (1x1) Var. Seeds d(root)/d(root) = 1 and visits the graph in reverse
+/// topological order. Gradients *accumulate* into leaves; call
+/// `zero_grad` on parameters between steps.
+void backward(const VarPtr& root);
+
+/// Number of nodes reachable from `root` (diagnostics / tests).
+std::size_t graph_size(const VarPtr& root);
+
+}  // namespace lightnas::nn

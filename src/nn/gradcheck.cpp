@@ -1,0 +1,40 @@
+#include "nn/gradcheck.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lightnas::nn {
+
+GradCheckResult gradcheck(const std::function<VarPtr()>& loss_fn,
+                          const VarPtr& leaf, double eps, double tolerance) {
+  assert(leaf->requires_grad);
+
+  // Analytic pass.
+  leaf->zero_grad();
+  VarPtr loss = loss_fn();
+  backward(loss);
+  const Tensor analytic = leaf->grad;
+
+  GradCheckResult result;
+  for (std::size_t i = 0; i < leaf->value.size(); ++i) {
+    const float original = leaf->value[i];
+
+    leaf->value[i] = original + static_cast<float>(eps);
+    const double up = static_cast<double>(loss_fn()->value.item());
+    leaf->value[i] = original - static_cast<float>(eps);
+    const double down = static_cast<double>(loss_fn()->value.item());
+    leaf->value[i] = original;
+
+    const double numeric = (up - down) / (2.0 * eps);
+    const double a = static_cast<double>(analytic[i]);
+    const double abs_err = std::abs(a - numeric);
+    const double denom = std::max({std::abs(a), std::abs(numeric), 1e-8});
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+  }
+  result.passed = result.max_abs_error < tolerance ||
+                  result.max_rel_error < tolerance;
+  return result;
+}
+
+}  // namespace lightnas::nn

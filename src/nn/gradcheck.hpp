@@ -1,0 +1,24 @@
+#pragma once
+
+#include <functional>
+
+#include "nn/autograd.hpp"
+
+namespace lightnas::nn {
+
+/// Result of comparing analytic gradients against central finite
+/// differences for a single leaf tensor.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool passed = false;
+};
+
+/// Check d(loss)/d(leaf) for `loss_fn`, a function that rebuilds the graph
+/// from current leaf values and returns a scalar Var. The leaf's value is
+/// perturbed elementwise by +-eps. `loss_fn` MUST be deterministic.
+GradCheckResult gradcheck(const std::function<VarPtr()>& loss_fn,
+                          const VarPtr& leaf, double eps = 1e-3,
+                          double tolerance = 5e-2);
+
+}  // namespace lightnas::nn

@@ -1,0 +1,150 @@
+#include "nn/optim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace lightnas::nn {
+
+CosineSchedule::CosineSchedule(double base_lr, std::size_t total_steps,
+                               std::size_t warmup_steps,
+                               double warmup_start_lr)
+    : base_lr_(base_lr),
+      total_steps_(total_steps),
+      warmup_steps_(warmup_steps),
+      warmup_start_lr_(warmup_start_lr) {
+  assert(total_steps > 0);
+  assert(warmup_steps < total_steps);
+}
+
+double CosineSchedule::lr_at(std::size_t step) const {
+  if (step >= total_steps_) return 0.0;
+  if (step < warmup_steps_) {
+    const double frac = static_cast<double>(step + 1) /
+                        static_cast<double>(warmup_steps_);
+    return warmup_start_lr_ + (base_lr_ - warmup_start_lr_) * frac;
+  }
+  const double progress =
+      static_cast<double>(step - warmup_steps_) /
+      static_cast<double>(total_steps_ - warmup_steps_);
+  return 0.5 * base_lr_ * (1.0 + std::cos(std::numbers::pi * progress));
+}
+
+double clip_grad_norm(const std::vector<VarPtr>& params, double max_norm) {
+  double norm_sq = 0.0;
+  for (const VarPtr& p : params) {
+    p->ensure_grad();
+    for (std::size_t j = 0; j < p->grad.size(); ++j) {
+      norm_sq += static_cast<double>(p->grad[j]) *
+                 static_cast<double>(p->grad[j]);
+    }
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (max_norm > 0.0 && norm > max_norm) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (const VarPtr& p : params) p->grad.scale_inplace(scale);
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<VarPtr> params, double lr, double momentum,
+         double weight_decay, double clip_norm)
+    : params_(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay),
+      clip_norm_(clip_norm) {
+  velocity_.reserve(params_.size());
+  for (const VarPtr& p : params_) {
+    velocity_.push_back(Tensor::zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Sgd::step() {
+  if (clip_norm_ > 0.0) clip_grad_norm(params_, clip_norm_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Var& p = *params_[i];
+    p.ensure_grad();
+    Tensor g = p.grad;
+    if (weight_decay_ != 0.0) {
+      g.axpy_inplace(static_cast<float>(weight_decay_), p.value);
+    }
+    if (momentum_ != 0.0) {
+      velocity_[i].scale_inplace(static_cast<float>(momentum_));
+      velocity_[i].add_inplace(g);
+      p.value.axpy_inplace(static_cast<float>(-lr_), velocity_[i]);
+    } else {
+      p.value.axpy_inplace(static_cast<float>(-lr_), g);
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (const VarPtr& p : params_) p->zero_grad();
+}
+
+Adam::Adam(std::vector<VarPtr> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const VarPtr& p : params_) {
+    m_.push_back(Tensor::zeros(p->value.rows(), p->value.cols()));
+    v_.push_back(Tensor::zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Var& p = *params_[i];
+    p.ensure_grad();
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      double g = p.grad[j];
+      if (weight_decay_ != 0.0) {
+        g += weight_decay_ * static_cast<double>(p.value[j]);
+      }
+      m_[i][j] = static_cast<float>(beta1_ * m_[i][j] + (1.0 - beta1_) * g);
+      v_[i][j] =
+          static_cast<float>(beta2_ * v_[i][j] + (1.0 - beta2_) * g * g);
+      const double mhat = m_[i][j] / bc1;
+      const double vhat = v_[i][j] / bc2;
+      p.value[j] -=
+          static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (const VarPtr& p : params_) p->zero_grad();
+}
+
+LambdaAscent::LambdaAscent(double lr, double initial, bool clamp_at_zero,
+                           double unwind_gain)
+    : lr_(lr),
+      lambda_(initial),
+      clamp_at_zero_(clamp_at_zero),
+      unwind_gain_(unwind_gain) {
+  assert(lr > 0.0);
+  assert(unwind_gain >= 1.0);
+}
+
+void LambdaAscent::step(double violation) {
+  double rate = lr_;
+  // Anti-windup: once the constraint has been crossed (violation and the
+  // accumulated multiplier disagree in sign), unwind faster than the
+  // buildup so the closed loop does not overshoot the target.
+  if (lambda_ * violation < 0.0) rate *= unwind_gain_;
+  lambda_ += rate * violation;
+  if (clamp_at_zero_) lambda_ = std::max(0.0, lambda_);
+}
+
+}  // namespace lightnas::nn

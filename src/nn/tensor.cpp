@@ -1,0 +1,186 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace lightnas::nn {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
+  return Tensor(rows, cols, 0.0f);
+}
+
+Tensor Tensor::ones(std::size_t rows, std::size_t cols) {
+  return Tensor(rows, cols, 1.0f);
+}
+
+Tensor Tensor::full(std::size_t rows, std::size_t cols, float value) {
+  return Tensor(rows, cols, value);
+}
+
+Tensor Tensor::scalar(float value) {
+  return Tensor(1, 1, value);
+}
+
+Tensor Tensor::randn(std::size_t rows, std::size_t cols,
+                     lightnas::util::Rng& rng, float stddev) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::from_rows(const std::vector<std::vector<float>>& rows) {
+  assert(!rows.empty());
+  Tensor t(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == t.cols_);
+    std::copy(rows[r].begin(), rows[r].end(),
+              t.data_.begin() + static_cast<std::ptrdiff_t>(r * t.cols_));
+  }
+  return t;
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+float Tensor::item() const {
+  assert(rows_ == 1 && cols_ == 1);
+  return data_[0];
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_inplace(const Tensor& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::sub_inplace(const Tensor& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Tensor::scale_inplace(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+void Tensor::axpy_inplace(float s, const Tensor& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += s * other.data_[i];
+  }
+}
+
+Tensor Tensor::reshaped(std::size_t rows, std::size_t cols) const {
+  assert(rows * cols == data_.size());
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = data_;
+  return t;
+}
+
+float Tensor::sum() const {
+  float total = 0.0f;
+  for (float v : data_) total += v;
+  return total;
+}
+
+float Tensor::mean() const {
+  assert(!data_.empty());
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::size_t Tensor::argmax_row(std::size_t r) const {
+  assert(r < rows_);
+  std::size_t best = 0;
+  float best_v = at(r, 0);
+  for (std::size_t c = 1; c < cols_; ++c) {
+    if (at(r, c) > best_v) {
+      best_v = at(r, c);
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream oss;
+  oss << '(' << rows_ << " x " << cols_ << ')';
+  return oss.str();
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  Tensor c(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a.at(i, p);
+      if (av == 0.0f) continue;
+      const float* brow = &b.data()[p * n];
+      float* crow = &c.data()[i * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows());
+  Tensor c(a.cols(), b.cols());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = &a.data()[p * m];
+    const float* brow = &b.data()[p * n];
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = &c.data()[i * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.cols());
+  Tensor c(a.rows(), b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = &a.data()[i * k];
+    float* crow = &c.data()[i * n];
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = &b.data()[j * k];
+      float dot = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) dot += arow[p] * brow[p];
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+}  // namespace lightnas::nn

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lightnas::util {
+class Rng;
+}
+
+namespace lightnas::nn {
+
+/// Dense row-major 2-D float tensor.
+///
+/// The whole reproduction only needs rank-2 math (batch x features):
+/// the latency predictor is an MLP over flattened one-hot encodings and
+/// the supernet surrogate blocks are residual linear blocks. Scalars are
+/// represented as 1x1 tensors. Keeping the tensor rank-2 keeps every op
+/// kernel simple and auditable.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  static Tensor zeros(std::size_t rows, std::size_t cols);
+  static Tensor ones(std::size_t rows, std::size_t cols);
+  static Tensor full(std::size_t rows, std::size_t cols, float value);
+  static Tensor scalar(float value);
+  /// I.i.d. normal entries (Kaiming-style init is built on top of this).
+  static Tensor randn(std::size_t rows, std::size_t cols,
+                      lightnas::util::Rng& rng, float stddev = 1.0f);
+  static Tensor from_rows(const std::vector<std::vector<float>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  /// Scalar accessor; requires a 1x1 tensor.
+  float item() const;
+
+  void fill(float value);
+  void add_inplace(const Tensor& other);
+  void sub_inplace(const Tensor& other);
+  void scale_inplace(float s);
+  /// this += s * other (axpy), the core optimizer update primitive.
+  void axpy_inplace(float s, const Tensor& other);
+
+  /// Reshape without copying; total size must be preserved.
+  Tensor reshaped(std::size_t rows, std::size_t cols) const;
+
+  float sum() const;
+  float mean() const;
+  float abs_max() const;
+  /// Column index of the maximum entry in the given row.
+  std::size_t argmax_row(std::size_t r) const;
+
+  std::string shape_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+}  // namespace lightnas::nn

@@ -1,0 +1,70 @@
+#include "predictors/dataset.hpp"
+
+#include <cassert>
+
+namespace lightnas::predictors {
+
+std::pair<MeasurementDataset, MeasurementDataset> MeasurementDataset::split(
+    double first_fraction, util::Rng& rng) const {
+  assert(first_fraction > 0.0 && first_fraction < 1.0);
+  const auto n_first = static_cast<std::size_t>(
+      first_fraction * static_cast<double>(size()));
+  const std::vector<std::size_t> order = rng.permutation(size());
+
+  MeasurementDataset first, second;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    MeasurementDataset& dst = (i < n_first) ? first : second;
+    dst.architectures.push_back(architectures[order[i]]);
+    dst.encodings.push_back(encodings[order[i]]);
+    dst.targets.push_back(targets[order[i]]);
+  }
+  return {std::move(first), std::move(second)};
+}
+
+namespace {
+
+/// Architecture whose layers favour `bias_op` with probability
+/// `strength`, falling back to uniform otherwise.
+space::Architecture biased_architecture(const space::SearchSpace& space,
+                                        std::size_t bias_op,
+                                        double strength, util::Rng& rng) {
+  space::Architecture arch = space.random_architecture(rng);
+  for (std::size_t l = 0; l < space.num_layers(); ++l) {
+    if (space.layers()[l].searchable && rng.bernoulli(strength)) {
+      arch.set_op(l, bias_op);
+    }
+  }
+  return arch;
+}
+
+}  // namespace
+
+MeasurementDataset build_measurement_dataset(
+    const space::SearchSpace& space, hw::HardwareSimulator& device,
+    std::size_t count, Metric metric, util::Rng& rng,
+    double biased_fraction) {
+  assert(biased_fraction >= 0.0 && biased_fraction <= 1.0);
+  MeasurementDataset data;
+  data.architectures.reserve(count);
+  data.encodings.reserve(count);
+  data.targets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    space::Architecture arch =
+        rng.bernoulli(biased_fraction)
+            ? biased_architecture(
+                  space,
+                  static_cast<std::size_t>(
+                      rng.uniform_index(space.num_ops())),
+                  rng.uniform(0.3, 0.95), rng)
+            : space.random_architecture(rng);
+    const double value = (metric == Metric::kLatencyMs)
+                             ? device.measure_latency_ms(space, arch)
+                             : device.measure_energy_mj(space, arch);
+    data.encodings.push_back(arch.encode_one_hot(space.num_ops()));
+    data.architectures.push_back(std::move(arch));
+    data.targets.push_back(value);
+  }
+  return data;
+}
+
+}  // namespace lightnas::predictors

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/simulator.hpp"
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::predictors {
+
+/// Which hardware metric a predictor is trained to estimate. The paper
+/// demonstrates latency (Sec 3.2) and energy (Sec 4.3); the predictor
+/// machinery is metric-agnostic by design ("generalizable to other
+/// hardware metrics").
+enum class Metric { kLatencyMs, kEnergyMj };
+
+/// (architecture, measurement) pairs with the architectures kept around
+/// for diagnostics. Encodings are the flattened L*K one-hots of Eq (4).
+struct MeasurementDataset {
+  std::vector<space::Architecture> architectures;
+  std::vector<std::vector<float>> encodings;
+  std::vector<double> targets;
+
+  std::size_t size() const { return targets.size(); }
+
+  /// Seeded shuffle + split, e.g. 80/20 as in the paper.
+  std::pair<MeasurementDataset, MeasurementDataset> split(
+      double first_fraction, util::Rng& rng) const;
+};
+
+/// Sample `count` architectures and measure each once on the (noisy)
+/// simulated device. This mirrors the paper's campaign of 10,000
+/// on-device measurements.
+///
+/// `biased_fraction` of the samples are drawn from per-architecture
+/// biased op distributions (each biased arch favours one random operator
+/// with random strength) instead of uniformly. Pure uniform sampling
+/// concentrates around the space's mean cost and leaves the tails — the
+/// very fast and very slow architectures a constrained search targets —
+/// out of distribution; stratified enrichment is standard practice in
+/// predictor-based NAS campaigns.
+MeasurementDataset build_measurement_dataset(
+    const space::SearchSpace& space, hw::HardwareSimulator& device,
+    std::size_t count, Metric metric, util::Rng& rng,
+    double biased_fraction = 0.3);
+
+}  // namespace lightnas::predictors

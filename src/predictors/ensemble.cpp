@@ -1,0 +1,68 @@
+#include "predictors/ensemble.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/ops.hpp"
+
+namespace lightnas::predictors {
+
+EnsemblePredictor::EnsemblePredictor(std::size_t num_layers,
+                                     std::size_t num_ops,
+                                     std::size_t members, std::string unit)
+    : unit_(std::move(unit)) {
+  assert(members >= 1);
+  members_.reserve(members);
+  for (std::size_t m = 0; m < members; ++m) {
+    members_.push_back(std::make_unique<MlpPredictor>(
+        num_layers, num_ops, /*seed=*/1000 + 37 * m, unit_));
+  }
+}
+
+double EnsemblePredictor::train(const MeasurementDataset& data,
+                                const MlpTrainConfig& config) {
+  double total = 0.0;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    MlpTrainConfig member_config = config;
+    member_config.seed = config.seed + 101 * m;  // distinct batch orders
+    total += members_[m]->train(data, member_config);
+  }
+  return total / static_cast<double>(members_.size());
+}
+
+double EnsemblePredictor::predict(const space::Architecture& arch) const {
+  double total = 0.0;
+  for (const auto& member : members_) total += member->predict(arch);
+  return total / static_cast<double>(members_.size());
+}
+
+nn::VarPtr EnsemblePredictor::forward_var(const nn::VarPtr& encoding) const {
+  nn::VarPtr total;
+  for (const auto& member : members_) {
+    const nn::VarPtr out = member->forward_var(encoding);
+    total = total ? nn::ops::add(total, out) : out;
+  }
+  return nn::ops::scale(total, 1.0 / static_cast<double>(members_.size()));
+}
+
+double EnsemblePredictor::uncertainty(const space::Architecture& arch) const {
+  const double mean = predict(arch);
+  double var = 0.0;
+  for (const auto& member : members_) {
+    const double d = member->predict(arch) - mean;
+    var += d * d;
+  }
+  return std::sqrt(var / static_cast<double>(members_.size()));
+}
+
+PredictorReport EnsemblePredictor::evaluate(
+    const MeasurementDataset& data) const {
+  std::vector<double> predicted;
+  predicted.reserve(data.size());
+  for (const space::Architecture& arch : data.architectures) {
+    predicted.push_back(predict(arch));
+  }
+  return evaluate_predictions(predicted, data.targets);
+}
+
+}  // namespace lightnas::predictors

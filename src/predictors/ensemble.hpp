@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "predictors/mlp_predictor.hpp"
+
+namespace lightnas::predictors {
+
+/// Deep ensemble of MLP predictors: the mean prediction is typically
+/// more accurate than any single member, and the member disagreement is
+/// a usable uncertainty estimate — valuable when the search wanders into
+/// sparsely-measured corners of the space (exactly where a constrained
+/// search ends up; see the tail-enrichment note in dataset.hpp).
+class EnsemblePredictor : public HardwarePredictor {
+ public:
+  /// Train `members` MLPs on bootstrap-style shuffles of `data` (each
+  /// member gets a different init seed and batch order).
+  EnsemblePredictor(std::size_t num_layers, std::size_t num_ops,
+                    std::size_t members, std::string unit = "ms");
+
+  /// Train every member; returns the mean of the members' final MSEs.
+  double train(const MeasurementDataset& data, const MlpTrainConfig& config);
+
+  double predict(const space::Architecture& arch) const override;
+  nn::VarPtr forward_var(const nn::VarPtr& encoding) const override;
+  std::string unit() const override { return unit_; }
+
+  /// Standard deviation of the member predictions (epistemic proxy).
+  double uncertainty(const space::Architecture& arch) const;
+
+  std::size_t size() const { return members_.size(); }
+  const MlpPredictor& member(std::size_t i) const { return *members_[i]; }
+
+  PredictorReport evaluate(const MeasurementDataset& data) const;
+
+ private:
+  std::string unit_;
+  std::vector<std::unique_ptr<MlpPredictor>> members_;
+};
+
+}  // namespace lightnas::predictors

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "hw/simulator.hpp"
+#include "nn/autograd.hpp"
+#include "predictors/metrics.hpp"
+#include "predictors/dataset.hpp"
+#include "predictors/predictor.hpp"
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+
+namespace lightnas::predictors {
+
+/// Latency lookup table (LUT), the predictor used by FBNet/ProxylessNAS/
+/// OFA-style works (paper references [4, 5, 18]): each (layer, operator)
+/// pair is profiled *in isolation* on the device and the network latency
+/// is predicted as the sum of its entries.
+///
+/// Because isolated measurements pay per-measurement sync overheads and
+/// miss inter-layer cache/pipelining effects, the LUT shows a consistent
+/// positive bias plus residual error even after debiasing — the paper's
+/// Fig 5 (right). The class also exposes a differentiable form: the LUT
+/// prediction is a linear function of the one-hot encoding, so its
+/// gradient is simply the entry matrix.
+class LutPredictor : public HardwarePredictor {
+ public:
+  /// Profile every (layer, op) pair once on the simulated device.
+  LutPredictor(const space::SearchSpace& space,
+               hw::HardwareSimulator& device);
+
+  double entry(std::size_t layer, std::size_t op) const;
+
+  double predict(const space::Architecture& arch) const override;
+  double predict_encoding(const std::vector<float>& encoding) const;
+
+  /// Differentiable prediction: dot(encoding, entries) as a 1x1 Var.
+  nn::VarPtr forward_var(const nn::VarPtr& encoding) const override;
+
+  std::string unit() const override { return "ms"; }
+
+  PredictorReport evaluate(const MeasurementDataset& data) const;
+
+  std::size_t num_layers() const { return num_layers_; }
+  std::size_t num_ops() const { return num_ops_; }
+
+ private:
+  std::size_t num_layers_;
+  std::size_t num_ops_;
+  std::vector<double> entries_;  // row-major L x K
+};
+
+}  // namespace lightnas::predictors

@@ -1,0 +1,35 @@
+#include "predictors/metrics.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace lightnas::predictors {
+
+std::string PredictorReport::to_string(const std::string& unit) const {
+  std::ostringstream oss;
+  oss.precision(4);
+  oss << "RMSE=" << rmse << unit << " MAE=" << mae << unit
+      << " bias=" << bias << unit << " debiased-RMSE=" << debiased_rmse
+      << unit << " pearson=" << pearson << " kendall=" << kendall;
+  return oss.str();
+}
+
+PredictorReport evaluate_predictions(const std::vector<double>& predicted,
+                                     const std::vector<double>& truth) {
+  assert(predicted.size() == truth.size());
+  assert(predicted.size() >= 2);
+  PredictorReport report;
+  report.rmse = util::rmse(predicted, truth);
+  report.mae = util::mae(predicted, truth);
+  report.bias = util::mean_bias(predicted, truth);
+  std::vector<double> debiased = predicted;
+  for (double& p : debiased) p -= report.bias;
+  report.debiased_rmse = util::rmse(debiased, truth);
+  report.pearson = util::pearson(predicted, truth);
+  report.kendall = util::kendall_tau(predicted, truth);
+  return report;
+}
+
+}  // namespace lightnas::predictors

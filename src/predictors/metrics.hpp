@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lightnas::predictors {
+
+/// Quality report for a hardware-metric predictor on a held-out set,
+/// matching what Figures 5 and 8 of the paper visualize.
+struct PredictorReport {
+  double rmse = 0.0;
+  double mae = 0.0;
+  /// Mean signed error; near zero for the MLP, ~+11.5 ms for the raw LUT.
+  double bias = 0.0;
+  /// RMSE after removing the mean bias — the paper reports the LUT still
+  /// has 0.41 ms residual RMSE "even though the prediction gap is
+  /// eliminated".
+  double debiased_rmse = 0.0;
+  double pearson = 0.0;
+  double kendall = 0.0;
+
+  std::string to_string(const std::string& unit) const;
+};
+
+PredictorReport evaluate_predictions(const std::vector<double>& predicted,
+                                     const std::vector<double>& truth);
+
+}  // namespace lightnas::predictors

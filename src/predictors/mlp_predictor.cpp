@@ -1,0 +1,156 @@
+#include "predictors/mlp_predictor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/ops.hpp"
+#include "nn/optim.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lightnas::predictors {
+
+MlpPredictor::MlpPredictor(std::size_t num_layers, std::size_t num_ops,
+                           std::uint64_t seed, std::string unit)
+    : num_layers_(num_layers), num_ops_(num_ops), unit_(std::move(unit)) {
+  util::Rng rng(seed);
+  // The paper's predictor: three fully connected layers, 128-64-1.
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<std::size_t>{input_dim(), 128, 64, 1}, rng,
+      "latency_mlp");
+}
+
+double MlpPredictor::train(const MeasurementDataset& data,
+                           const MlpTrainConfig& config) {
+  assert(data.size() >= 2);
+  assert(config.batch_size > 0);
+
+  target_mean_ = util::mean(data.targets);
+  target_std_ = std::max(util::stddev(data.targets), 1e-6);
+
+  util::Rng rng(config.seed);
+  nn::Adam optimizer(mlp_->parameters(), config.learning_rate, 0.9, 0.999,
+                     1e-8, config.weight_decay);
+  const nn::CosineSchedule schedule(config.learning_rate,
+                                    config.epochs + 1);
+
+  double last_epoch_loss = 0.0;
+  std::size_t step_epoch = 0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer.set_lr(schedule.lr_at(step_epoch++));
+    const std::vector<std::size_t> order = rng.permutation(data.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, order.size());
+      const std::size_t rows = end - start;
+
+      nn::Tensor x(rows, input_dim());
+      nn::Tensor y(rows, 1);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t idx = order[start + r];
+        const std::vector<float>& enc = data.encodings[idx];
+        assert(enc.size() == input_dim());
+        std::copy(enc.begin(), enc.end(),
+                  x.data().begin() +
+                      static_cast<std::ptrdiff_t>(r * input_dim()));
+        y.at(r, 0) = static_cast<float>(
+            (data.targets[idx] - target_mean_) / target_std_);
+      }
+
+      optimizer.zero_grad();
+      nn::VarPtr pred = mlp_->forward(nn::make_const(std::move(x)));
+      nn::VarPtr loss = nn::ops::mse_loss(pred, nn::make_const(std::move(y)));
+      nn::backward(loss);
+      optimizer.step();
+
+      epoch_loss += static_cast<double>(loss->value.item());
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(batches);
+    if (config.log_every != 0 && (epoch + 1) % config.log_every == 0) {
+      util::log_info() << "mlp-predictor epoch " << (epoch + 1) << "/"
+                       << config.epochs << " mse=" << last_epoch_loss;
+    }
+  }
+  trained_ = true;
+  return last_epoch_loss;
+}
+
+double MlpPredictor::predict(const space::Architecture& arch) const {
+  return predict_encoding(arch.encode_one_hot(num_ops_));
+}
+
+double MlpPredictor::predict_encoding(
+    const std::vector<float>& encoding) const {
+  assert(trained_);
+  assert(encoding.size() == input_dim());
+  nn::Tensor x(1, input_dim());
+  std::copy(encoding.begin(), encoding.end(), x.data().begin());
+  const nn::VarPtr out = mlp_->forward(nn::make_const(std::move(x)));
+  return target_mean_ +
+         target_std_ * static_cast<double>(out->value.item());
+}
+
+nn::VarPtr MlpPredictor::forward_var(const nn::VarPtr& encoding) const {
+  assert(trained_);
+  assert(encoding->value.rows() == 1);
+  assert(encoding->value.cols() == input_dim());
+  const nn::VarPtr normalized = mlp_->forward(encoding);
+  return nn::ops::add_scalar(nn::ops::scale(normalized, target_std_),
+                             target_mean_);
+}
+
+MlpPredictor::State MlpPredictor::export_state() const {
+  State state;
+  state.num_layers = num_layers_;
+  state.num_ops = num_ops_;
+  state.unit = unit_;
+  state.target_mean = target_mean_;
+  state.target_std = target_std_;
+  state.trained = trained_;
+  for (const nn::VarPtr& param : mlp_->parameters()) {
+    state.tensors.push_back(param->value.data());
+    state.shapes.emplace_back(param->value.rows(), param->value.cols());
+  }
+  return state;
+}
+
+MlpPredictor MlpPredictor::from_state(const State& state) {
+  MlpPredictor predictor(state.num_layers, state.num_ops, /*seed=*/0,
+                         state.unit);
+  const std::vector<nn::VarPtr> params = predictor.mlp_->parameters();
+  if (params.size() != state.tensors.size()) {
+    throw std::runtime_error("predictor state: wrong tensor count");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->value.rows() != state.shapes[i].first ||
+        params[i]->value.cols() != state.shapes[i].second ||
+        params[i]->value.size() != state.tensors[i].size()) {
+      throw std::runtime_error("predictor state: shape mismatch");
+    }
+    params[i]->value.data() = state.tensors[i];
+  }
+  predictor.target_mean_ = state.target_mean;
+  predictor.target_std_ = state.target_std;
+  predictor.trained_ = state.trained;
+  return predictor;
+}
+
+PredictorReport MlpPredictor::evaluate(
+    const MeasurementDataset& data) const {
+  std::vector<double> predicted;
+  predicted.reserve(data.size());
+  for (const std::vector<float>& enc : data.encodings) {
+    predicted.push_back(predict_encoding(enc));
+  }
+  return evaluate_predictions(predicted, data.targets);
+}
+
+}  // namespace lightnas::predictors

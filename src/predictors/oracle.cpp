@@ -1,0 +1,19 @@
+#include "predictors/oracle.hpp"
+
+namespace lightnas::predictors {
+
+SimulatorOracle::SimulatorOracle(const space::SearchSpace& space,
+                                 hw::CostModel model, Metric metric)
+    : space_(&space), model_(std::move(model)), metric_(metric) {}
+
+double SimulatorOracle::predict(const space::Architecture& arch) const {
+  return metric_ == Metric::kLatencyMs
+             ? model_.network_latency_ms(*space_, arch)
+             : model_.network_energy_mj(*space_, arch);
+}
+
+std::string SimulatorOracle::unit() const {
+  return metric_ == Metric::kLatencyMs ? "ms" : "mJ";
+}
+
+}  // namespace lightnas::predictors

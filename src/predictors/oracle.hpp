@@ -1,0 +1,30 @@
+#pragma once
+
+#include "hw/cost_model.hpp"
+#include "predictors/dataset.hpp"
+#include "predictors/predictor.hpp"
+#include "space/search_space.hpp"
+
+namespace lightnas::predictors {
+
+/// Ground-truth (noise-free) cost oracle backed by the analytical device
+/// model. Not differentiable — use it where the literature assumes exact
+/// per-architecture measurements (evolutionary/RL baselines, calibration
+/// tests), and the MLP/LUT predictors where the paper does.
+class SimulatorOracle : public CostOracle {
+ public:
+  SimulatorOracle(const space::SearchSpace& space, hw::CostModel model,
+                  Metric metric);
+
+  double predict(const space::Architecture& arch) const override;
+  std::string unit() const override;
+
+  const hw::CostModel& model() const { return model_; }
+
+ private:
+  const space::SearchSpace* space_;
+  hw::CostModel model_;
+  Metric metric_;
+};
+
+}  // namespace lightnas::predictors

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "nn/autograd.hpp"
+#include "space/architecture.hpp"
+
+namespace lightnas::predictors {
+
+/// Point-prediction interface: everything a sample-based search (random,
+/// evolutionary, RL) needs from a hardware-cost estimator.
+class CostOracle {
+ public:
+  virtual ~CostOracle() = default;
+
+  /// Point prediction for a concrete architecture, in `unit()`s.
+  virtual double predict(const space::Architecture& arch) const = 0;
+
+  /// Human-readable unit, e.g. "ms" or "mJ".
+  virtual std::string unit() const = 0;
+};
+
+/// Differentiable predictor interface. The LightNAS engine is written
+/// against this interface, which is what makes the framework
+/// "effortlessly pluggable into various scenarios" (Sec 3.5): swapping
+/// latency for energy — or for any other differentiable cost — means
+/// swapping the predictor instance, nothing else.
+class HardwarePredictor : public CostOracle {
+ public:
+  /// Differentiable prediction over a 1 x (L*K) encoding Var.
+  virtual nn::VarPtr forward_var(const nn::VarPtr& encoding) const = 0;
+};
+
+}  // namespace lightnas::predictors

@@ -1,0 +1,129 @@
+#include "space/flops.hpp"
+
+#include <cassert>
+
+namespace lightnas::space {
+
+namespace {
+
+double sq(double v) {
+  return v * v;
+}
+
+LayerCost conv_cost(double out_resolution, double in_ch, double out_ch,
+                    double kernel) {
+  LayerCost cost;
+  cost.macs = sq(out_resolution) * in_ch * out_ch * sq(kernel);
+  cost.params = in_ch * out_ch * sq(kernel);
+  return cost;
+}
+
+LayerCost depthwise_cost(double out_resolution, double channels,
+                         double kernel) {
+  LayerCost cost;
+  cost.macs = sq(out_resolution) * channels * sq(kernel);
+  cost.params = channels * sq(kernel);
+  return cost;
+}
+
+LayerCost se_cost(double out_resolution, double channels) {
+  // Squeeze (global pool, ~free), two FC layers with reduction 4, then a
+  // per-pixel rescale of the feature map.
+  const double hidden = channels / 4.0;
+  LayerCost cost;
+  cost.macs = channels * hidden * 2.0 + sq(out_resolution) * channels;
+  cost.params = channels * hidden * 2.0;
+  return cost;
+}
+
+}  // namespace
+
+LayerCost operator_cost(const LayerSpec& layer, const Operator& op,
+                        bool with_se) {
+  const double in_res = static_cast<double>(layer.in_resolution);
+  const double out_res =
+      static_cast<double>((layer.in_resolution +
+                           static_cast<std::size_t>(layer.stride) - 1) /
+                          static_cast<std::size_t>(layer.stride));
+  const double cin = static_cast<double>(layer.in_channels);
+  const double cout = static_cast<double>(layer.out_channels);
+
+  LayerCost total;
+  if (op.kind == OpKind::kSkip) {
+    const bool shape_preserving = layer.stride == 1 &&
+                                  layer.in_channels == layer.out_channels;
+    if (!shape_preserving) {
+      total += conv_cost(out_res, cin, cout, 1.0);
+    }
+    return total;
+  }
+
+  assert(op.kind == OpKind::kMBConv);
+  const double expanded = cin * static_cast<double>(op.expansion);
+  // 1x1 expansion at input resolution.
+  total += conv_cost(in_res, cin, expanded, 1.0);
+  // Depthwise kxk at output resolution.
+  total += depthwise_cost(out_res, expanded, static_cast<double>(op.kernel));
+  if (with_se) total += se_cost(out_res, expanded);
+  // 1x1 projection to the layer's output channels.
+  total += conv_cost(out_res, expanded, cout, 1.0);
+  return total;
+}
+
+LayerCost stem_cost(const SearchSpace& space) {
+  const double out_res = static_cast<double>(space.input_resolution()) / 2.0;
+  return conv_cost(out_res, 3.0,
+                   static_cast<double>(space.stem_channels()), 3.0);
+}
+
+LayerCost head_cost(const SearchSpace& space) {
+  assert(!space.layers().empty());
+  const LayerSpec& last = space.layers().back();
+  const double final_res = static_cast<double>(
+      (last.in_resolution + static_cast<std::size_t>(last.stride) - 1) /
+      static_cast<std::size_t>(last.stride));
+  LayerCost total = conv_cost(final_res,
+                              static_cast<double>(last.out_channels),
+                              static_cast<double>(space.head_channels()),
+                              1.0);
+  // Classifier FC (after global average pooling).
+  LayerCost fc;
+  fc.macs = static_cast<double>(space.head_channels()) *
+            static_cast<double>(space.num_classes());
+  fc.params = fc.macs + static_cast<double>(space.num_classes());
+  total += fc;
+  return total;
+}
+
+bool se_applies_at(const SearchSpace& space, std::size_t layer_index) {
+  const std::size_t num_layers = space.num_layers();
+  assert(layer_index < num_layers);
+  const std::size_t se_layers = 9;
+  return layer_index + se_layers >= num_layers;
+}
+
+double count_macs(const SearchSpace& space, const Architecture& arch) {
+  assert(arch.num_layers() == space.num_layers());
+  double total = stem_cost(space).macs + head_cost(space).macs;
+  for (std::size_t l = 0; l < space.num_layers(); ++l) {
+    const bool se = arch.with_se() && se_applies_at(space, l);
+    total += operator_cost(space.layers()[l],
+                           space.ops().op(arch.op_at(l)), se)
+                 .macs;
+  }
+  return total;
+}
+
+double count_params(const SearchSpace& space, const Architecture& arch) {
+  assert(arch.num_layers() == space.num_layers());
+  double total = stem_cost(space).params + head_cost(space).params;
+  for (std::size_t l = 0; l < space.num_layers(); ++l) {
+    const bool se = arch.with_se() && se_applies_at(space, l);
+    total += operator_cost(space.layers()[l],
+                           space.ops().op(arch.op_at(l)), se)
+                 .params;
+  }
+  return total;
+}
+
+}  // namespace lightnas::space

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "space/architecture.hpp"
+#include "space/search_space.hpp"
+
+namespace lightnas::space {
+
+/// Compute cost of one layer (or stem/head) in multiply-accumulates and
+/// parameters. The paper reports "multi-adds" (MACs); 1 MAC = 2 FLOPs.
+struct LayerCost {
+  double macs = 0.0;
+  double params = 0.0;
+
+  LayerCost& operator+=(const LayerCost& other) {
+    macs += other.macs;
+    params += other.params;
+    return *this;
+  }
+};
+
+/// Cost of a single candidate operator instantiated at a layer position.
+/// SkipConnect is free when shape-preserving; at shape-changing layers it
+/// degrades to a strided 1x1 projection (see DESIGN.md).
+/// `with_se` adds a Squeeze-and-Excitation block on the expanded features
+/// (reduction ratio 4), used by the Table-4 ablation.
+LayerCost operator_cost(const LayerSpec& layer, const Operator& op,
+                        bool with_se = false);
+
+/// Stem: 3x3 conv, stride 2, 3 -> stem_channels.
+LayerCost stem_cost(const SearchSpace& space);
+
+/// Head: 1x1 conv to head_channels, global average pool, FC to classes.
+LayerCost head_cost(const SearchSpace& space);
+
+/// Whether the SE ablation applies SE at this layer index: the paper
+/// attaches SE to the last nine candidate layers (Sec 4.3).
+bool se_applies_at(const SearchSpace& space, std::size_t layer_index);
+
+/// Total network MACs for an architecture, stem and head included.
+double count_macs(const SearchSpace& space, const Architecture& arch);
+
+/// Total trainable parameters for an architecture.
+double count_params(const SearchSpace& space, const Architecture& arch);
+
+}  // namespace lightnas::space

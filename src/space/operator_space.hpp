@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lightnas::space {
+
+/// Kind of a candidate operator in the layer-wise search space (Sec 3.1).
+enum class OpKind {
+  kMBConv,  ///< MobileNetV2 inverted-residual block
+  kSkip,    ///< SkipConnect: identity (or strided 1x1 projection when the
+            ///< layer changes shape), enabling depth search
+};
+
+/// One candidate operator. The paper's space O is MBConv with kernel
+/// sizes {3,5,7} x expansion ratios {3,6} plus SkipConnect: |O| = 7.
+struct Operator {
+  OpKind kind = OpKind::kMBConv;
+  int kernel = 3;     ///< depthwise kernel size (MBConv only)
+  int expansion = 6;  ///< channel expansion ratio (MBConv only)
+
+  bool operator==(const Operator& other) const = default;
+};
+
+/// The canonical operator space in a fixed, documented order:
+///   0: MB k3 e3   1: MB k3 e6   2: MB k5 e3   3: MB k5 e6
+///   4: MB k7 e3   5: MB k7 e6   6: SkipConnect
+class OperatorSpace {
+ public:
+  static const OperatorSpace& canonical();
+
+  std::size_t size() const { return ops_.size(); }
+  const Operator& op(std::size_t index) const;
+  const std::vector<Operator>& ops() const { return ops_; }
+
+  /// Short display name, e.g. "MB3_K5_E6" style is avoided in favour of
+  /// the paper's figure labels: "K3_E3" ... "Skip".
+  std::string name(std::size_t index) const;
+
+  /// Index of the canonical operator equal to `op`; size() if absent.
+  std::size_t index_of(const Operator& op) const;
+
+  /// Index of the SkipConnect operator.
+  std::size_t skip_index() const;
+
+  /// Index of MBConv with the given kernel/expansion; size() if absent.
+  std::size_t mbconv_index(int kernel, int expansion) const;
+
+ private:
+  OperatorSpace();
+  std::vector<Operator> ops_;
+};
+
+}  // namespace lightnas::space

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "space/operator_space.hpp"
+
+namespace lightnas::util {
+class Rng;
+}
+
+namespace lightnas::space {
+
+class Architecture;
+
+/// Per-layer shape information of the macro-architecture. Channels and
+/// resolutions are those of the layer *input*; `stride` downsamples and
+/// `out_channels` applies at this layer's output.
+struct LayerSpec {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t in_resolution = 0;  ///< square feature map side (H == W)
+  int stride = 1;
+  std::size_t stage = 0;  ///< stage index, for display only
+  bool searchable = true;
+};
+
+/// The FBNet-style layer-wise macro-architecture (Sec 3.1, Fig 4):
+/// a fixed stem (3x3 conv, stride 2), L = 22 candidate layers whose
+/// first layer is fixed, and a fixed head (1x1 conv -> pool -> FC).
+/// Width multiplier and input resolution are parameters so that the
+/// model-scaling baseline (Fig 9) reuses the same machinery.
+class SearchSpace {
+ public:
+  /// The space used throughout the paper: 224x224 input, width 1.0,
+  /// stage channels {16, 24, 32, 64, 112, 184, 352}, 1000 classes.
+  static SearchSpace fbnet_xavier();
+
+  /// Scaled variant for the model-scaling comparison (Fig 9).
+  static SearchSpace scaled(double width_mult, std::size_t resolution);
+
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+  const OperatorSpace& ops() const { return *ops_; }
+
+  std::size_t num_layers() const { return layers_.size(); }    // L = 22
+  std::size_t num_ops() const { return ops_->size(); }         // K = 7
+  std::size_t num_searchable_layers() const;                   // 21
+
+  std::size_t input_resolution() const { return resolution_; }
+  double width_mult() const { return width_mult_; }
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t stem_channels() const { return stem_channels_; }
+  std::size_t head_channels() const { return head_channels_; }
+
+  /// log10 of |A| = K^(searchable layers); the paper reports ~17.75
+  /// (|A| ~ 5.6e17) for the canonical space.
+  double space_size_log10() const;
+
+  /// Uniformly random architecture (fixed layers keep their fixed op).
+  Architecture random_architecture(lightnas::util::Rng& rng) const;
+
+  /// Copy of `base` with `num_mutations` random searchable layers
+  /// reassigned to random operators (evolutionary-search primitive).
+  Architecture mutate(const Architecture& base, std::size_t num_mutations,
+                      lightnas::util::Rng& rng) const;
+
+  /// Uniform crossover of two parents (evolutionary-search primitive).
+  Architecture crossover(const Architecture& a, const Architecture& b,
+                         lightnas::util::Rng& rng) const;
+
+  /// The all-MBConv(k3, e6) architecture: our stand-in for plain
+  /// MobileNetV2, which stacks the same operator everywhere (Sec 4.2).
+  Architecture mobilenet_v2_like() const;
+
+  /// Architecture with every searchable layer set to the given op index.
+  Architecture uniform_architecture(std::size_t op_index) const;
+
+  std::string describe() const;
+
+ private:
+  SearchSpace() = default;
+
+  std::vector<LayerSpec> layers_;
+  const OperatorSpace* ops_ = nullptr;
+  std::size_t resolution_ = 224;
+  double width_mult_ = 1.0;
+  std::size_t num_classes_ = 1000;
+  std::size_t stem_channels_ = 16;
+  std::size_t head_channels_ = 1504;
+};
+
+}  // namespace lightnas::space

@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace lightnas::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(row);
+}
+
+void CsvWriter::add_row(const std::vector<double>& row, int precision) {
+  assert(row.size() == header_.size());
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    std::ostringstream oss;
+    oss << std::setprecision(precision) << v;
+    cells.push_back(oss.str());
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ',';
+      os << escape(cells[i]);
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out);
+  return out.good();
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace lightnas::util

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lightnas::util {
+
+/// Minimal CSV writer: the benchmark binaries dump their raw series
+/// (e.g. the Figure-7 search traces) alongside the printed tables so
+/// downstream plotting can regenerate the paper's figures.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& row);
+  void add_row(const std::vector<double>& row, int precision = 6);
+
+  void write(std::ostream& os) const;
+  /// Writes to the given path; returns false (without throwing) when the
+  /// file cannot be opened so benches degrade gracefully in read-only dirs.
+  bool write_file(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lightnas::util

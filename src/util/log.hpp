@@ -1,0 +1,49 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lightnas::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message to stderr with a level prefix. Thread-safe at the
+/// granularity of one line.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, oss_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() {
+  return detail::LogLine(LogLevel::kDebug);
+}
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() {
+  return detail::LogLine(LogLevel::kError);
+}
+
+}  // namespace lightnas::util

@@ -1,0 +1,127 @@
+#include "util/plot.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace lightnas::util {
+
+AsciiChart::AsciiChart(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  assert(width >= 8 && height >= 4);
+}
+
+void AsciiChart::add_series(std::string name, std::vector<double> values,
+                            char glyph) {
+  series_.push_back({std::move(name), std::move(values), glyph});
+}
+
+void AsciiChart::add_hline(double y, char glyph) {
+  hlines_.push_back({y, glyph});
+}
+
+std::string AsciiChart::render() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  std::size_t longest = 0;
+  for (const Series& s : series_) {
+    for (double v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    longest = std::max(longest, s.values.size());
+  }
+  for (const HLine& h : hlines_) {
+    lo = std::min(lo, h.y);
+    hi = std::max(hi, h.y);
+  }
+  if (!std::isfinite(lo) || longest == 0) return "(empty chart)\n";
+  if (hi - lo < 1e-12) {
+    hi = lo + 1.0;  // flat series: give the grid some height
+  }
+  const double pad = 0.05 * (hi - lo);
+  lo -= pad;
+  hi += pad;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  auto row_of = [&](double v) {
+    const double frac = (v - lo) / (hi - lo);
+    const auto r = static_cast<long>(
+        std::lround((1.0 - frac) * static_cast<double>(height_ - 1)));
+    return std::clamp<long>(r, 0, static_cast<long>(height_ - 1));
+  };
+
+  for (const HLine& h : hlines_) {
+    const long r = row_of(h.y);
+    for (std::size_t c = 0; c < width_; ++c) {
+      grid[static_cast<std::size_t>(r)][c] = h.glyph;
+    }
+  }
+  for (const Series& s : series_) {
+    if (s.values.empty()) continue;
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      const std::size_t col =
+          longest <= 1
+              ? 0
+              : i * (width_ - 1) / (longest - 1);
+      grid[static_cast<std::size_t>(row_of(s.values[i]))][col] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  char label[32];
+  for (std::size_t r = 0; r < height_; ++r) {
+    const double y =
+        hi - (hi - lo) * static_cast<double>(r) /
+                 static_cast<double>(height_ - 1);
+    std::snprintf(label, sizeof(label), "%9.2f |", y);
+    out << label << grid[r] << '\n';
+  }
+  out << std::string(11, ' ') << std::string(width_, '-') << '\n';
+  out << std::string(11, ' ') << "0" << std::string(width_ - 8, ' ')
+      << (longest - 1) << '\n';
+  for (const Series& s : series_) {
+    out << "  " << s.glyph << " = " << s.name << '\n';
+  }
+  return out.str();
+}
+
+std::string ascii_histogram(const std::vector<double>& values,
+                            std::size_t bins, std::size_t max_bar) {
+  assert(bins >= 1);
+  if (values.empty()) return "(no data)\n";
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(),
+                                                  values.end());
+  const double lo = *lo_it;
+  double hi = *hi_it;
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  std::vector<std::size_t> counts(bins, 0);
+  for (double v : values) {
+    auto b = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                      static_cast<double>(bins));
+    if (b >= bins) b = bins - 1;
+    ++counts[b];
+  }
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+
+  std::ostringstream out;
+  char label[48];
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double left = lo + (hi - lo) * static_cast<double>(b) /
+                                 static_cast<double>(bins);
+    const double right = lo + (hi - lo) * static_cast<double>(b + 1) /
+                                  static_cast<double>(bins);
+    const std::size_t bar =
+        peak == 0 ? 0 : counts[b] * max_bar / peak;
+    std::snprintf(label, sizeof(label), "[%8.2f, %8.2f) %5zu |", left,
+                  right, counts[b]);
+    out << label << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lightnas::util

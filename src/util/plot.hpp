@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lightnas::util {
+
+/// Terminal line chart: renders one or more numeric series into a
+/// fixed-size character grid with y-axis labels. Used by the figure
+/// benches so the paper's plots are legible directly in the console
+/// (the CSVs remain the precise record).
+class AsciiChart {
+ public:
+  /// `width` and `height` are the plot area in characters (axes extra).
+  AsciiChart(std::size_t width = 64, std::size_t height = 16);
+
+  /// Add a named series; it will be drawn with the given glyph.
+  void add_series(std::string name, std::vector<double> values,
+                  char glyph);
+
+  /// Optional horizontal reference line (e.g. the target latency).
+  void add_hline(double y, char glyph = '-');
+
+  /// Render the chart (multi-line string, trailing newline included).
+  std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> values;
+    char glyph;
+  };
+  struct HLine {
+    double y;
+    char glyph;
+  };
+
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Series> series_;
+  std::vector<HLine> hlines_;
+};
+
+/// Histogram: bucket `values` into `bins` and render horizontal bars.
+std::string ascii_histogram(const std::vector<double>& values,
+                            std::size_t bins = 10,
+                            std::size_t max_bar = 48);
+
+}  // namespace lightnas::util

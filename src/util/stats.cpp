@@ -1,0 +1,185 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace lightnas::util {
+
+double mean(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  const double m = mean(xs);
+  double total = 0.0;
+  for (double x : xs) total += (x - m) * (x - m);
+  return total / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  return std::sqrt(variance(xs));
+}
+
+double min_of(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::vector<double> xs) {
+  return percentile(std::move(xs), 50.0);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  assert(!xs.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double rmse(const std::vector<double>& pred,
+            const std::vector<double>& truth) {
+  assert(pred.size() == truth.size());
+  assert(!pred.empty());
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(pred.size()));
+}
+
+double mae(const std::vector<double>& pred,
+           const std::vector<double>& truth) {
+  assert(pred.size() == truth.size());
+  assert(!pred.empty());
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    total += std::abs(pred[i] - truth[i]);
+  }
+  return total / static_cast<double>(pred.size());
+}
+
+double mean_bias(const std::vector<double>& pred,
+                 const std::vector<double>& truth) {
+  assert(pred.size() == truth.size());
+  assert(!pred.empty());
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    total += pred[i] - truth[i];
+  }
+  return total / static_cast<double>(pred.size());
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= 2);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom == 0.0) return 0.0;
+  return sxy / denom;
+}
+
+double kendall_tau(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= 2);
+  const std::size_t n = xs.size();
+  long long concordant = 0;
+  long long discordant = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      const double prod = dx * dy;
+      if (prod > 0.0) {
+        ++concordant;
+      } else if (prod < 0.0) {
+        ++discordant;
+      }
+      // Ties contribute to neither (tau-a).
+    }
+  }
+  const double pairs = 0.5 * static_cast<double>(n) *
+                       static_cast<double>(n - 1);
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= 2);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double resid = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += resid * resid;
+    }
+    fit.r2 = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+}  // namespace lightnas::util

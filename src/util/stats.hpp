@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lightnas::util {
+
+/// Summary statistics and regression-quality metrics used throughout the
+/// predictor-evaluation benchmarks (Figures 5 and 8 of the paper).
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // population variance
+double stddev(const std::vector<double>& xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+double median(std::vector<double> xs);  // by value: sorts a copy
+double percentile(std::vector<double> xs, double p);  // p in [0, 100]
+
+/// Root-mean-square error between predictions and ground truth.
+double rmse(const std::vector<double>& pred, const std::vector<double>& truth);
+
+/// Mean absolute error.
+double mae(const std::vector<double>& pred, const std::vector<double>& truth);
+
+/// Mean signed error (pred - truth): exposes systematic bias such as the
+/// constant ~11.5 ms gap the paper reports for the latency LUT (Fig. 5).
+double mean_bias(const std::vector<double>& pred,
+                 const std::vector<double>& truth);
+
+/// Pearson linear correlation coefficient.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Kendall rank correlation (tau-a), O(n^2). NAS predictor papers report
+/// this because search only needs correct *ranking* of architectures.
+double kendall_tau(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+/// Ordinary least squares fit y = slope * x + intercept.
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Online accumulator for mean/stddev (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lightnas::util

@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace lightnas::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  Row r;
+  r.cells = std::move(row);
+  r.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(r));
+}
+
+void Table::add_separator() {
+  pending_separator_ = true;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) print_rule();
+    print_cells(row.cells);
+  }
+  print_rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string fmt_ms(double v) {
+  return fmt_double(v, 1);
+}
+
+std::string fmt_pct(double v) {
+  return fmt_double(v, 1);
+}
+
+std::string fmt_signed(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::showpos << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+}  // namespace lightnas::util

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lightnas::util {
+
+/// Console table printer used by the benchmark harness to emit the same
+/// rows the paper's tables report. Columns are sized to fit content; cells
+/// are strings so callers control numeric formatting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Insert a horizontal rule before the next added row (used to group
+  /// Table-2 style latency bands).
+  void add_separator();
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Format helpers so table cells look consistent across benches.
+std::string fmt_double(double v, int precision);
+std::string fmt_ms(double v);        // "23.9"
+std::string fmt_pct(double v);       // "75.5"
+std::string fmt_signed(double v, int precision);  // "+0.4" / "-1.2"
+
+}  // namespace lightnas::util

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "baselines/evolution.hpp"
+#include "baselines/fbnet.hpp"
+#include "baselines/proxyless.hpp"
+#include "baselines/random_search.hpp"
+#include "baselines/rl_search.hpp"
+#include "baselines/scaling.hpp"
+#include "eval/accuracy_model.hpp"
+#include "predictors/lut_predictor.hpp"
+#include "predictors/oracle.hpp"
+
+namespace lightnas::baselines {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  space::SearchSpace space_ = space::SearchSpace::fbnet_xavier();
+  hw::CostModel model_{hw::DeviceProfile::jetson_xavier_maxn(), 8};
+  predictors::SimulatorOracle oracle_{space_, model_,
+                                      predictors::Metric::kLatencyMs};
+  eval::AccuracyModel accuracy_{space_};
+
+  ScoreFn score_fn() {
+    return [this](const space::Architecture& arch) {
+      return accuracy_.top1(arch);
+    };
+  }
+};
+
+TEST_F(BaselineTest, RandomSearchRespectsConstraint) {
+  RandomSearchConfig config;
+  config.num_samples = 1500;
+  config.target = 22.0;
+  config.slack = 2.0;
+  util::Rng rng(3);
+  const RandomSearchResult result =
+      random_search(space_, oracle_, score_fn(), config, rng);
+  ASSERT_TRUE(result.best.has_value());
+  const double lat = model_.network_latency_ms(space_, *result.best);
+  EXPECT_LE(lat, config.target + 1e-9);
+  EXPECT_GE(lat, config.target - config.slack - 1e-9);
+  EXPECT_GT(result.num_feasible, 0u);
+  EXPECT_EQ(result.num_evaluated, result.num_feasible);
+}
+
+TEST_F(BaselineTest, RandomSearchInfeasibleTargetGivesNoResult) {
+  RandomSearchConfig config;
+  config.num_samples = 200;
+  config.target = 2.0;  // below the all-skip floor
+  config.slack = 1.0;
+  util::Rng rng(4);
+  const RandomSearchResult result =
+      random_search(space_, oracle_, score_fn(), config, rng);
+  EXPECT_FALSE(result.best.has_value());
+  EXPECT_EQ(result.num_feasible, 0u);
+}
+
+TEST_F(BaselineTest, EvolutionImprovesOverGenerationsAndIsFeasible) {
+  EvolutionConfig config;
+  config.population = 24;
+  config.generations = 12;
+  config.children = 12;
+  config.target = 24.0;
+  config.slack = 2.0;
+  config.seed = 5;
+  const EvolutionResult result =
+      evolutionary_search(space_, oracle_, score_fn(), config);
+  const double lat = model_.network_latency_ms(space_, result.best);
+  EXPECT_LE(lat, config.target + 1e-9);
+  EXPECT_GE(lat, config.target - config.slack - 1e-9);
+  ASSERT_EQ(result.best_score_per_generation.size(), 12u);
+  EXPECT_GE(result.best_score_per_generation.back(),
+            result.best_score_per_generation.front());
+  // Evolution under the budget beats the average random feasible arch.
+  EXPECT_GT(result.best_score, accuracy_.top1(space_.mobilenet_v2_like()));
+}
+
+TEST_F(BaselineTest, EvolutionBestScoreMonotonePerGeneration) {
+  EvolutionConfig config;
+  config.population = 16;
+  config.generations = 8;
+  config.children = 8;
+  config.target = 22.0;
+  config.seed = 6;
+  const EvolutionResult result =
+      evolutionary_search(space_, oracle_, score_fn(), config);
+  for (std::size_t g = 1; g < result.best_score_per_generation.size(); ++g) {
+    EXPECT_GE(result.best_score_per_generation[g],
+              result.best_score_per_generation[g - 1]);
+  }
+}
+
+TEST_F(BaselineTest, RlSearchFindsFeasibleArchitecture) {
+  RlSearchConfig config;
+  config.iterations = 60;
+  config.batch = 6;
+  config.target = 24.0;
+  config.seed = 7;
+  const RlSearchResult result =
+      rl_search(space_, oracle_, score_fn(), config);
+  EXPECT_EQ(result.num_evaluated, 60u * 6u);
+  EXPECT_LE(model_.network_latency_ms(space_, result.best),
+            config.target + 1.0);
+  ASSERT_FALSE(result.mean_reward_per_iteration.empty());
+  // Policy learning: late mean reward should beat the early one.
+  const double early = result.mean_reward_per_iteration[4];
+  const double late = result.mean_reward_per_iteration.back();
+  EXPECT_GT(late, early * 0.95);
+}
+
+TEST_F(BaselineTest, FbNetLambdaExtremesBracketLatency) {
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = 512;
+  task_config.valid_size = 256;
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+
+  // A linear differentiable predictor over the same space.
+  hw::HardwareSimulator device(hw::DeviceProfile::jetson_xavier_maxn(), 8,
+                               13);
+  const predictors::LutPredictor lut(space_, device);
+
+  FbNetConfig config;
+  config.epochs = 8;
+  config.warmup_epochs = 2;
+  config.w_steps_per_epoch = 3;
+  config.alpha_steps_per_epoch = 3;
+  config.batch_size = 32;
+  config.seed = 11;
+
+  config.lambda = 0.0;
+  FbNetSearch accuracy_only(space_, lut, task, core::SupernetConfig{},
+                            config);
+  const core::SearchResult loose = accuracy_only.search();
+
+  config.lambda = 1.0;  // the paper's collapse regime (Fig 3)
+  FbNetSearch latency_heavy(space_, lut, task, core::SupernetConfig{},
+                            config);
+  const core::SearchResult tight = latency_heavy.search();
+
+  const double loose_lat =
+      model_.network_latency_ms(space_, loose.architecture);
+  const double tight_lat =
+      model_.network_latency_ms(space_, tight.architecture);
+  EXPECT_LT(tight_lat, loose_lat);
+  // lambda = 1 collapses towards SkipConnect (Fig 3's cliff).
+  EXPECT_LT(tight.architecture.effective_depth(space_), 8u);
+}
+
+TEST_F(BaselineTest, FbNetTraceCarriesFixedLambda) {
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = 256;
+  task_config.valid_size = 128;
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+  hw::HardwareSimulator device(hw::DeviceProfile::jetson_xavier_maxn(), 8,
+                               17);
+  const predictors::LutPredictor lut(space_, device);
+  FbNetConfig config;
+  config.epochs = 4;
+  config.warmup_epochs = 1;
+  config.w_steps_per_epoch = 2;
+  config.alpha_steps_per_epoch = 2;
+  config.batch_size = 32;
+  config.lambda = 0.123;
+  FbNetSearch search(space_, lut, task, core::SupernetConfig{}, config);
+  const core::SearchResult result = search.search();
+  for (const core::SearchEpochStats& stats : result.trace) {
+    EXPECT_DOUBLE_EQ(stats.lambda, 0.123);
+  }
+  EXPECT_DOUBLE_EQ(result.final_lambda, 0.123);
+}
+
+TEST_F(BaselineTest, ProxylessTwoPathSearchRuns) {
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = 512;
+  task_config.valid_size = 256;
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+  hw::HardwareSimulator device(hw::DeviceProfile::jetson_xavier_maxn(), 8,
+                               23);
+  const predictors::LutPredictor lut(space_, device);
+
+  ProxylessConfig config;
+  config.epochs = 8;
+  config.warmup_epochs = 2;
+  config.w_steps_per_epoch = 3;
+  config.alpha_steps_per_epoch = 3;
+  config.batch_size = 32;
+  config.seed = 5;
+  ProxylessSearch search(space_, lut, task, core::SupernetConfig{}, config);
+  const core::SearchResult result = search.search();
+  EXPECT_EQ(result.trace.size(), 8u);
+  EXPECT_EQ(result.architecture.num_layers(), space_.num_layers());
+  EXPECT_EQ(result.architecture.op_at(0), 0u);  // fixed layer untouched
+  EXPECT_GT(result.final_predicted_cost, 0.0);
+}
+
+TEST_F(BaselineTest, ProxylessLambdaExtremesBracketLatency) {
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = 512;
+  task_config.valid_size = 256;
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+  hw::HardwareSimulator device(hw::DeviceProfile::jetson_xavier_maxn(), 8,
+                               29);
+  const predictors::LutPredictor lut(space_, device);
+
+  ProxylessConfig config;
+  config.epochs = 10;
+  config.warmup_epochs = 2;
+  config.w_steps_per_epoch = 3;
+  config.alpha_steps_per_epoch = 4;
+  config.batch_size = 32;
+  config.seed = 7;
+
+  config.lambda = 0.0;
+  ProxylessSearch loose_search(space_, lut, task, core::SupernetConfig{},
+                               config);
+  const double loose = model_.network_latency_ms(
+      space_, loose_search.search().architecture);
+
+  config.lambda = 1.0;
+  ProxylessSearch tight_search(space_, lut, task, core::SupernetConfig{},
+                               config);
+  const double tight = model_.network_latency_ms(
+      space_, tight_search.search().architecture);
+  EXPECT_LT(tight, loose);
+}
+
+TEST_F(BaselineTest, WidthScalingMonotoneInLatency) {
+  const auto models =
+      width_scaled_mobilenets({0.5, 0.75, 1.0, 1.25}, model_);
+  ASSERT_EQ(models.size(), 4u);
+  for (std::size_t i = 1; i < models.size(); ++i) {
+    EXPECT_GT(models[i].latency_ms, models[i - 1].latency_ms);
+    EXPECT_GT(models[i].macs, models[i - 1].macs);
+  }
+  EXPECT_EQ(models[2].label(), "MBV2-w1-r224");
+}
+
+TEST_F(BaselineTest, ResolutionScalingMonotoneInLatency) {
+  const auto models =
+      resolution_scaled_mobilenets({160, 192, 224, 256}, model_);
+  ASSERT_EQ(models.size(), 4u);
+  for (std::size_t i = 1; i < models.size(); ++i) {
+    EXPECT_GT(models[i].latency_ms, models[i - 1].latency_ms);
+  }
+}
+
+}  // namespace
+}  // namespace lightnas::baselines

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "core/gumbel.hpp"
+#include "core/lightnas.hpp"
+#include "core/supernet.hpp"
+#include "nn/ops.hpp"
+#include "predictors/mlp_predictor.hpp"
+#include "util/stats.hpp"
+
+namespace lightnas::core {
+namespace {
+
+TEST(Gumbel, NoiseShapeAndMoments) {
+  util::Rng rng(1);
+  const nn::Tensor noise = gumbel_noise(50, 50, rng);
+  EXPECT_EQ(noise.rows(), 50u);
+  std::vector<double> xs;
+  xs.reserve(noise.size());
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    xs.push_back(noise[i]);
+  }
+  EXPECT_NEAR(util::mean(xs), 0.5772, 0.05);
+}
+
+TEST(TemperatureSchedule, DecaysFromInitialToFinal) {
+  const TemperatureSchedule sched(5.0, 0.1, 100);
+  EXPECT_DOUBLE_EQ(sched.at(0), 5.0);
+  EXPECT_NEAR(sched.at(100), 0.1, 1e-9);
+  EXPECT_NEAR(sched.at(1000), 0.1, 1e-9);
+  for (std::size_t e = 1; e <= 100; ++e) {
+    EXPECT_LT(sched.at(e), sched.at(e - 1));
+  }
+}
+
+class SupernetTest : public ::testing::Test {
+ protected:
+  SupernetTest()
+      : space_(space::SearchSpace::fbnet_xavier()),
+        task_(nn::make_synthetic_task(small_task())),
+        net_(space_, task_.train.feature_dim(), 10, config()) {}
+
+  static nn::SyntheticTaskConfig small_task() {
+    nn::SyntheticTaskConfig config;
+    config.train_size = 256;
+    config.valid_size = 64;
+    return config;
+  }
+  static SupernetConfig config() {
+    SupernetConfig c;
+    c.seed = 5;
+    return c;
+  }
+
+  space::SearchSpace space_;
+  nn::SyntheticTask task_;
+  SurrogateSupernet net_;
+};
+
+TEST_F(SupernetTest, HiddenWidthGrowsWithKernelExpansionAndStage) {
+  const space::Operator k3e3{space::OpKind::kMBConv, 3, 3};
+  const space::Operator k3e6{space::OpKind::kMBConv, 3, 6};
+  const space::Operator k7e6{space::OpKind::kMBConv, 7, 6};
+  const space::Operator skip{space::OpKind::kSkip, 0, 0};
+  EXPECT_EQ(net_.hidden_width(skip), 0u);
+  EXPECT_LT(net_.hidden_width(k3e3), net_.hidden_width(k3e6));
+  EXPECT_LT(net_.hidden_width(k3e6), net_.hidden_width(k7e6));
+  EXPECT_LT(net_.hidden_width(k3e6, 1), net_.hidden_width(k3e6, 6));
+}
+
+TEST_F(SupernetTest, SinglePathOutputShape) {
+  const space::Architecture arch = space_.mobilenet_v2_like();
+  const nn::VarPtr logits =
+      net_.forward_single_path(task_.valid.features, arch.ops());
+  EXPECT_EQ(logits->value.rows(), task_.valid.size());
+  EXPECT_EQ(logits->value.cols(), 10u);
+}
+
+TEST_F(SupernetTest, GatesValuedOneDoNotChangeOutput) {
+  const space::Architecture arch = space_.mobilenet_v2_like();
+  const nn::VarPtr plain =
+      net_.forward_single_path(task_.valid.features, arch.ops());
+
+  std::vector<nn::VarPtr> gates(space_.num_layers(), nullptr);
+  for (std::size_t l = 1; l < space_.num_layers(); ++l) {
+    gates[l] = nn::make_leaf(nn::Tensor::scalar(1.0f));
+  }
+  const nn::VarPtr gated =
+      net_.forward_single_path(task_.valid.features, arch.ops(), gates);
+  for (std::size_t i = 0; i < plain->value.size(); ++i) {
+    ASSERT_NEAR(gated->value[i], plain->value[i], 1e-5f);
+  }
+}
+
+TEST_F(SupernetTest, GateGradientsExistForEveryGatedLayer) {
+  const space::Architecture arch = space_.mobilenet_v2_like();
+  std::vector<nn::VarPtr> gates(space_.num_layers(), nullptr);
+  for (std::size_t l = 1; l < space_.num_layers(); ++l) {
+    gates[l] = nn::make_leaf(nn::Tensor::scalar(1.0f));
+  }
+  const nn::VarPtr logits =
+      net_.forward_single_path(task_.valid.features, arch.ops(), gates);
+  nn::backward(
+      nn::ops::softmax_cross_entropy(logits, task_.valid.labels));
+  for (std::size_t l = 1; l < space_.num_layers(); ++l) {
+    EXPECT_NE(gates[l]->grad.item(), 0.0f) << "layer " << l;
+  }
+}
+
+TEST_F(SupernetTest, MultiPathWithOneHotEqualsSinglePath) {
+  util::Rng rng(7);
+  const space::Architecture arch = space_.random_architecture(rng);
+  nn::Tensor weights =
+      nn::Tensor::zeros(space_.num_layers(), space_.num_ops());
+  for (std::size_t l = 0; l < space_.num_layers(); ++l) {
+    weights.at(l, arch.op_at(l)) = 1.0f;
+  }
+  const nn::VarPtr multi = net_.forward_multi_path(
+      task_.valid.features, nn::make_const(std::move(weights)));
+  const nn::VarPtr single =
+      net_.forward_single_path(task_.valid.features, arch.ops());
+  for (std::size_t i = 0; i < multi->value.size(); ++i) {
+    ASSERT_NEAR(multi->value[i], single->value[i], 1e-4f);
+  }
+}
+
+TEST_F(SupernetTest, MultiPathMemoryIsKTimesSinglePath) {
+  // The Sec 3.3 / Table 1 claim quantified: multi-path activation
+  // memory is ~K x the single-path footprint.
+  const double ratio =
+      static_cast<double>(net_.activations_multi_path(128)) /
+      static_cast<double>(net_.activations_single_path(128));
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, static_cast<double>(space_.num_ops()) + 1.0);
+}
+
+TEST_F(SupernetTest, WeightParametersCoverAllBlocks) {
+  // stem (2) + classifier (2) + 22 layers x 6 MBConv blocks x 4 tensors.
+  const std::size_t expected = 2 + 2 + 22 * 6 * 4;
+  EXPECT_EQ(net_.weight_parameters().size(), expected);
+}
+
+class SearchTest : public ::testing::Test {
+ protected:
+  static LightNasConfig tiny_config(double target) {
+    LightNasConfig config;
+    config.target = target;
+    config.epochs = 8;
+    config.warmup_epochs = 3;
+    config.w_steps_per_epoch = 4;
+    config.alpha_steps_per_epoch = 4;
+    config.batch_size = 32;
+    config.seed = 2;
+    return config;
+  }
+  static nn::SyntheticTaskConfig tiny_task() {
+    nn::SyntheticTaskConfig config;
+    config.train_size = 512;
+    config.valid_size = 256;
+    return config;
+  }
+
+  /// A cheap, perfectly-trained stand-in predictor for engine tests:
+  /// linear in the encoding (like a LUT) but built directly from the
+  /// noise-free cost model.
+  class LinearOracle : public predictors::HardwarePredictor {
+   public:
+    LinearOracle(const space::SearchSpace& space, const hw::CostModel& model)
+        : space_(&space) {
+      weights_.resize(space.num_layers() * space.num_ops());
+      // Per-op marginal cost relative to an all-skip base.
+      const space::Architecture base =
+          space.uniform_architecture(space.ops().skip_index());
+      base_ = model.network_latency_ms(space, base);
+      for (std::size_t l = 0; l < space.num_layers(); ++l) {
+        for (std::size_t k = 0; k < space.num_ops(); ++k) {
+          space::Architecture probe = base;
+          if (space.layers()[l].searchable) probe.set_op(l, k);
+          weights_[l * space.num_ops() + k] =
+              model.network_latency_ms(space, probe) - base_;
+        }
+      }
+    }
+    double predict(const space::Architecture& arch) const override {
+      const auto enc = arch.encode_one_hot(space_->num_ops());
+      double total = base_;
+      for (std::size_t i = 0; i < enc.size(); ++i) {
+        total += enc[i] * weights_[i];
+      }
+      return total;
+    }
+    nn::VarPtr forward_var(const nn::VarPtr& encoding) const override {
+      nn::Tensor w(weights_.size(), 1);
+      for (std::size_t i = 0; i < weights_.size(); ++i) {
+        w[i] = static_cast<float>(weights_[i]);
+      }
+      return nn::ops::add_scalar(
+          nn::ops::matmul(encoding, nn::make_const(std::move(w))), base_);
+    }
+    std::string unit() const override { return "ms"; }
+
+   private:
+    const space::SearchSpace* space_;
+    std::vector<double> weights_;
+    double base_ = 0.0;
+  };
+
+  space::SearchSpace space_ = space::SearchSpace::fbnet_xavier();
+  hw::CostModel model_{hw::DeviceProfile::jetson_xavier_maxn(), 8};
+};
+
+TEST_F(SearchTest, TraceIsComplete) {
+  const nn::SyntheticTask task = nn::make_synthetic_task(tiny_task());
+  const LinearOracle predictor(space_, model_);
+  LightNas engine(space_, predictor, task, SupernetConfig{},
+                  tiny_config(22.0));
+  const SearchResult result = engine.search();
+  EXPECT_EQ(result.trace.size(), 8u);
+  EXPECT_EQ(result.weight_updates, 8u * 4u);
+  EXPECT_EQ(result.alpha_updates, 5u * 4u);
+  for (const SearchEpochStats& stats : result.trace) {
+    EXPECT_GT(stats.tau, 0.0);
+    EXPECT_GT(stats.predicted_cost, 0.0);
+    EXPECT_EQ(stats.derived.num_layers(), space_.num_layers());
+    EXPECT_GE(stats.valid_accuracy, 0.0);
+    EXPECT_LE(stats.valid_accuracy, 1.0);
+  }
+}
+
+TEST_F(SearchTest, LambdaMovesTowardConstraint) {
+  const nn::SyntheticTask task = nn::make_synthetic_task(tiny_task());
+  const LinearOracle predictor(space_, model_);
+  // Start far below an unreachable target: lambda must go negative to
+  // reward latency (Sec 3.4).
+  LightNas engine(space_, predictor, task, SupernetConfig{},
+                  tiny_config(33.0));
+  const SearchResult result = engine.search();
+  EXPECT_LT(result.final_lambda, 0.0);
+  // And the search raised the architecture's cost from the all-op-0
+  // initialization.
+  const double initial = predictor.predict(space_.uniform_architecture(0));
+  EXPECT_GT(result.final_predicted_cost, initial);
+}
+
+TEST_F(SearchTest, ReproducibleForSameSeed) {
+  const nn::SyntheticTask task = nn::make_synthetic_task(tiny_task());
+  const LinearOracle predictor(space_, model_);
+  LightNas a(space_, predictor, task, SupernetConfig{}, tiny_config(22.0));
+  LightNas b(space_, predictor, task, SupernetConfig{}, tiny_config(22.0));
+  EXPECT_EQ(a.search().architecture.ops(), b.search().architecture.ops());
+}
+
+TEST_F(SearchTest, DifferentSeedsExploreDifferently) {
+  const nn::SyntheticTask task = nn::make_synthetic_task(tiny_task());
+  const LinearOracle predictor(space_, model_);
+  LightNasConfig c1 = tiny_config(22.0);
+  LightNasConfig c2 = tiny_config(22.0);
+  c2.seed = 77;
+  LightNas a(space_, predictor, task, SupernetConfig{}, c1);
+  LightNas b(space_, predictor, task, SupernetConfig{}, c2);
+  EXPECT_NE(a.search().architecture.ops(), b.search().architecture.ops());
+}
+
+TEST_F(SearchTest, FixedLayerNeverChanges) {
+  const nn::SyntheticTask task = nn::make_synthetic_task(tiny_task());
+  const LinearOracle predictor(space_, model_);
+  LightNas engine(space_, predictor, task, SupernetConfig{},
+                  tiny_config(25.0));
+  const SearchResult result = engine.search();
+  EXPECT_EQ(result.architecture.op_at(0), 0u);
+  for (const SearchEpochStats& stats : result.trace) {
+    EXPECT_EQ(stats.derived.op_at(0), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace lightnas::core

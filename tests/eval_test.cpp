@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "eval/accuracy_model.hpp"
+#include "eval/detection.hpp"
+#include "eval/search_cost.hpp"
+#include "eval/standalone.hpp"
+#include "eval/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::eval {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  space::SearchSpace space_ = space::SearchSpace::fbnet_xavier();
+  AccuracyModel accuracy_{space_};
+  hw::CostModel model_{hw::DeviceProfile::jetson_xavier_maxn(), 8};
+};
+
+TEST_F(EvalTest, AnchorsMatchPaperNumbers) {
+  // Table 2 anchor: MobileNetV2 = 72.0 top-1 / 91.0 top-5.
+  const space::Architecture mbv2 = space_.mobilenet_v2_like();
+  EXPECT_NEAR(accuracy_.top1(mbv2), 72.0, 0.01);
+  EXPECT_NEAR(accuracy_.top5(mbv2), 91.0, 0.35);
+  // Minimal network anchor.
+  const space::Architecture skip =
+      space_.uniform_architecture(space_.ops().skip_index());
+  EXPECT_NEAR(accuracy_.top1(skip), 55.0, 0.01);
+}
+
+TEST_F(EvalTest, Top1MonotoneInCapacity) {
+  util::Rng rng(3);
+  for (int i = 0; i < 25; ++i) {
+    const space::Architecture a = space_.random_architecture(rng);
+    const space::Architecture b = space_.random_architecture(rng);
+    const bool cap_order = accuracy_.capacity(a) <= accuracy_.capacity(b);
+    const bool acc_order = accuracy_.top1(a) <= accuracy_.top1(b);
+    EXPECT_EQ(cap_order, acc_order);
+  }
+}
+
+TEST_F(EvalTest, Top1UpgradingAnyLayerHelps) {
+  util::Rng rng(4);
+  const space::Architecture base = space_.random_architecture(rng);
+  for (std::size_t l = 1; l < space_.num_layers(); ++l) {
+    space::Architecture small = base;
+    small.set_op(l, space_.ops().skip_index());
+    space::Architecture big = base;
+    big.set_op(l, space_.ops().mbconv_index(7, 6));
+    EXPECT_GT(accuracy_.top1(big), accuracy_.top1(small));
+  }
+}
+
+TEST_F(EvalTest, DiminishingReturnsPerUnitCapacity) {
+  // top1(q) saturates: the accuracy slope per unit capacity decreases.
+  const space::Architecture a = space_.uniform_architecture(0);
+  const space::Architecture b = space_.mobilenet_v2_like();
+  const space::Architecture c =
+      space_.uniform_architecture(space_.ops().mbconv_index(7, 6));
+  const double qa = accuracy_.capacity(a), qb = accuracy_.capacity(b),
+               qc = accuracy_.capacity(c);
+  ASSERT_LT(qa, qb);
+  ASSERT_LT(qb, qc);
+  const double slope_low = (accuracy_.top1(b) - accuracy_.top1(a)) / (qb - qa);
+  const double slope_high = (accuracy_.top1(c) - accuracy_.top1(b)) / (qc - qb);
+  EXPECT_GT(slope_low, slope_high);
+  EXPECT_LT(accuracy_.top1(c), 80.0);  // bounded by the asymptote
+}
+
+TEST_F(EvalTest, SeBonusMatchesTable4Scale) {
+  space::Architecture arch = space_.mobilenet_v2_like();
+  const double plain = accuracy_.top1(arch);
+  arch.set_with_se(true);
+  const double with_se = accuracy_.top1(arch);
+  EXPECT_NEAR(with_se - plain, 0.45, 0.2);  // Table 4: +0.4..+0.9
+}
+
+TEST_F(EvalTest, Top5AboveTop1AndQuickBelowFull) {
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const space::Architecture arch = space_.random_architecture(rng);
+    EXPECT_GT(accuracy_.top5(arch), accuracy_.top1(arch));
+    EXPECT_LT(accuracy_.quick_top1(arch), accuracy_.top1(arch));
+  }
+}
+
+TEST_F(EvalTest, StageWeightIncreasesWithDepth) {
+  EXPECT_LT(accuracy_.stage_weight(0),
+            accuracy_.stage_weight(space_.num_layers() - 1));
+}
+
+TEST_F(EvalTest, LateCapacityIsCheaperPerPoint) {
+  // The structural property behind the paper's Table 2 / Fig 9 gap:
+  // capacity added late in the network buys more accuracy per ms than
+  // capacity added early.
+  const space::Architecture base = space_.uniform_architecture(0);
+  space::Architecture early = base;
+  early.set_op(2, space_.ops().mbconv_index(7, 6));  // stage 1, 56x56
+  space::Architecture late = base;
+  late.set_op(19, space_.ops().mbconv_index(7, 6));  // stage 5, 7x7
+  const double base_lat = model_.network_latency_ms(space_, base);
+  const double early_gain_per_ms =
+      (accuracy_.top1(early) - accuracy_.top1(base)) /
+      (model_.network_latency_ms(space_, early) - base_lat);
+  const double late_gain_per_ms =
+      (accuracy_.top1(late) - accuracy_.top1(base)) /
+      (model_.network_latency_ms(space_, late) - base_lat);
+  EXPECT_GT(late_gain_per_ms, early_gain_per_ms);
+}
+
+TEST_F(EvalTest, DetectionAnchorsAndOrdering) {
+  const DetectionEvaluator detector(hw::DeviceProfile::jetson_xavier_maxn());
+  const space::SearchSpace det_space = space::SearchSpace::scaled(1.0, 320);
+  const DetectionResult mbv2 =
+      detector.evaluate(det_space.mobilenet_v2_like());
+  EXPECT_NEAR(mbv2.ap, 20.4, 0.05);  // Table 3 anchor
+  // Sub-metric structure mirrors the paper's rows.
+  EXPECT_GT(mbv2.ap50, mbv2.ap);
+  EXPECT_NEAR(mbv2.ap75, mbv2.ap, 0.5);
+  EXPECT_LT(mbv2.ap_small, mbv2.ap * 0.2);
+  EXPECT_GT(mbv2.ap_large, mbv2.ap * 1.5);
+  // Better backbone => better AP; detector latencies in the Table-3 range.
+  const DetectionResult big = detector.evaluate(
+      det_space.uniform_architecture(det_space.ops().mbconv_index(7, 6)));
+  EXPECT_GT(big.ap, mbv2.ap);
+  EXPECT_GT(mbv2.latency_ms, 40.0);
+  EXPECT_LT(mbv2.latency_ms, 110.0);
+  EXPECT_GT(big.latency_ms, mbv2.latency_ms);
+}
+
+TEST_F(EvalTest, MethodProfilesMatchTable1) {
+  const auto profiles = method_profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  const MethodProfile& lightnas = profiles.back();
+  EXPECT_EQ(lightnas.name, "LightNAS (ours)");
+  EXPECT_TRUE(lightnas.differentiable);
+  EXPECT_TRUE(lightnas.specified_latency);
+  EXPECT_TRUE(lightnas.proxyless);
+  EXPECT_EQ(lightnas.complexity, "O(1)");
+  EXPECT_DOUBLE_EQ(lightnas.explicit_gpu_hours, 10.0);
+  EXPECT_DOUBLE_EQ(lightnas.total_gpu_hours(), 10.0);
+
+  // Soft-penalty differentiable methods pay the ~10x implicit sweep.
+  for (const MethodProfile& p : profiles) {
+    if (p.name == "FBNet" || p.name == "ProxylessNAS") {
+      EXPECT_FALSE(p.specified_latency);
+      EXPECT_DOUBLE_EQ(p.implicit_runs, 10.0);
+      EXPECT_GT(p.total_gpu_hours(), p.explicit_gpu_hours * 9.0);
+    }
+  }
+  // LightNAS is the cheapest end-to-end path to a specified latency.
+  for (const MethodProfile& p : profiles) {
+    if (p.name != "LightNAS (ours)" && p.latency_optimization) {
+      EXPECT_GT(p.total_gpu_hours(), lightnas.total_gpu_hours());
+    }
+  }
+}
+
+TEST_F(EvalTest, StandaloneTrainingLearns) {
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = 2048;
+  task_config.valid_size = 512;
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+  StandaloneConfig config;
+  config.epochs = 10;
+  config.steps_per_epoch = 12;
+  const StandaloneResult result = train_standalone(
+      space_, space_.mobilenet_v2_like(), task, core::SupernetConfig{},
+      config);
+  EXPECT_GT(result.valid_accuracy, 0.25);  // well above 10% chance
+  EXPECT_LT(result.valid_loss, 2.2);
+}
+
+TEST_F(EvalTest, FitToLatencyConverges) {
+  for (double target : {16.0, 22.0, 28.0}) {
+    const space::Architecture arch =
+        fit_architecture_to_latency(space_, model_, target, 5);
+    EXPECT_NEAR(model_.network_latency_ms(space_, arch), target, 0.6);
+  }
+}
+
+TEST_F(EvalTest, ZooCoversTable2AndFitsReportedLatencies) {
+  const auto zoo = architecture_zoo(space_, model_);
+  ASSERT_EQ(zoo.size(), 16u);
+  EXPECT_EQ(zoo.front().name, "MobileNetV2");
+  EXPECT_EQ(zoo.front().arch.ops(), space_.mobilenet_v2_like().ops());
+  for (const ZooEntry& entry : zoo) {
+    EXPECT_GT(entry.reported_top1, 70.0);
+    if (entry.reported_latency_ms < 33.0) {
+      // Stand-ins track the reported Xavier latency (EfficientNet-B0 at
+      // 37 ms exceeds the space's reachable range by design).
+      EXPECT_NEAR(model_.network_latency_ms(space_, entry.arch),
+                  entry.reported_latency_ms, 1.0)
+          << entry.name;
+    }
+  }
+  // The daggered rows are flagged.
+  int extra = 0;
+  for (const ZooEntry& entry : zoo) {
+    if (entry.extra_techniques) ++extra;
+  }
+  EXPECT_EQ(extra, 3);  // MobileNetV3, MnasNet-A1, EfficientNet-B0
+}
+
+}  // namespace
+}  // namespace lightnas::eval

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "space/flops.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::space {
+namespace {
+
+LayerSpec example_layer() {
+  LayerSpec layer;
+  layer.in_channels = 32;
+  layer.out_channels = 64;
+  layer.in_resolution = 28;
+  layer.stride = 2;
+  layer.stage = 3;
+  return layer;
+}
+
+TEST(Flops, MbconvCostMatchesHandComputed) {
+  const LayerSpec layer = example_layer();
+  const Operator op{OpKind::kMBConv, 5, 6};
+  const LayerCost cost = operator_cost(layer, op);
+  // expand: 28^2 * 32 * 192 ; depthwise: 14^2 * 192 * 25 ;
+  // project: 14^2 * 192 * 64
+  const double expand = 28.0 * 28 * 32 * 192;
+  const double depthwise = 14.0 * 14 * 192 * 25;
+  const double project = 14.0 * 14 * 192 * 64;
+  EXPECT_NEAR(cost.macs, expand + depthwise + project, 1.0);
+  const double params = 32.0 * 192 + 192 * 25 + 192.0 * 64;
+  EXPECT_NEAR(cost.params, params, 1.0);
+}
+
+TEST(Flops, ShapePreservingSkipIsFree) {
+  LayerSpec layer = example_layer();
+  layer.stride = 1;
+  layer.out_channels = layer.in_channels;
+  const LayerCost cost = operator_cost(layer, Operator{OpKind::kSkip, 0, 0});
+  EXPECT_DOUBLE_EQ(cost.macs, 0.0);
+  EXPECT_DOUBLE_EQ(cost.params, 0.0);
+}
+
+TEST(Flops, ShapeChangingSkipPaysProjection) {
+  const LayerCost cost =
+      operator_cost(example_layer(), Operator{OpKind::kSkip, 0, 0});
+  EXPECT_NEAR(cost.macs, 14.0 * 14 * 32 * 64, 1.0);
+}
+
+TEST(Flops, SeModuleAddsCost) {
+  const LayerSpec layer = example_layer();
+  const Operator op{OpKind::kMBConv, 3, 6};
+  const LayerCost plain = operator_cost(layer, op, false);
+  const LayerCost with_se = operator_cost(layer, op, true);
+  EXPECT_GT(with_se.macs, plain.macs);
+  EXPECT_GT(with_se.params, plain.params);
+  // SE should be a small relative addition (paper Table 4: few MACs).
+  EXPECT_LT(with_se.macs, plain.macs * 1.15);
+}
+
+TEST(Flops, LargerKernelAndExpansionCostMore) {
+  const LayerSpec layer = example_layer();
+  const double k3e3 =
+      operator_cost(layer, Operator{OpKind::kMBConv, 3, 3}).macs;
+  const double k5e3 =
+      operator_cost(layer, Operator{OpKind::kMBConv, 5, 3}).macs;
+  const double k3e6 =
+      operator_cost(layer, Operator{OpKind::kMBConv, 3, 6}).macs;
+  EXPECT_GT(k5e3, k3e3);
+  EXPECT_GT(k3e6, k3e3);
+}
+
+TEST(Flops, SeAppliesToLastNineLayers) {
+  const SearchSpace space = SearchSpace::fbnet_xavier();
+  int count = 0;
+  for (std::size_t l = 0; l < space.num_layers(); ++l) {
+    if (se_applies_at(space, l)) ++count;
+  }
+  EXPECT_EQ(count, 9);
+  EXPECT_FALSE(se_applies_at(space, 0));
+  EXPECT_TRUE(se_applies_at(space, space.num_layers() - 1));
+}
+
+TEST(Flops, Mbv2TotalInMobileRegime) {
+  // The paper's mobile setting keeps multi-adds under 600M; the uniform
+  // K3_E6 stack (our MobileNetV2 stand-in) must respect that and exceed
+  // the all-skip floor by a wide margin.
+  const SearchSpace space = SearchSpace::fbnet_xavier();
+  const double mbv2 = count_macs(space, space.mobilenet_v2_like());
+  EXPECT_GT(mbv2, 250e6);
+  EXPECT_LT(mbv2, 600e6);
+  const double skip =
+      count_macs(space, space.uniform_architecture(space.ops().skip_index()));
+  EXPECT_LT(skip, 100e6);
+  EXPECT_GT(skip, 0.0);
+}
+
+TEST(Flops, EntireSpaceUnder600MMultiAdds) {
+  const SearchSpace space = SearchSpace::fbnet_xavier();
+  const double heaviest = count_macs(
+      space, space.uniform_architecture(space.ops().mbconv_index(7, 6)));
+  EXPECT_LT(heaviest, 600e6);  // Sec 4.1 mobile setting
+}
+
+TEST(Flops, MacsMonotoneUnderOpUpgrade) {
+  const SearchSpace space = SearchSpace::fbnet_xavier();
+  util::Rng rng(12);
+  const Architecture base = space.random_architecture(rng);
+  const double base_macs = count_macs(space, base);
+  // Upgrading any layer from K3_E3 to K7_E6 never reduces MACs.
+  for (std::size_t l = 1; l < space.num_layers(); ++l) {
+    Architecture small = base;
+    small.set_op(l, space.ops().mbconv_index(3, 3));
+    Architecture big = base;
+    big.set_op(l, space.ops().mbconv_index(7, 6));
+    EXPECT_GE(count_macs(space, big), count_macs(space, small));
+  }
+  (void)base_macs;
+}
+
+TEST(Flops, SeFlagRaisesNetworkMacsSlightly) {
+  const SearchSpace space = SearchSpace::fbnet_xavier();
+  Architecture arch = space.mobilenet_v2_like();
+  const double plain = count_macs(space, arch);
+  arch.set_with_se(true);
+  const double with_se = count_macs(space, arch);
+  EXPECT_GT(with_se, plain);
+  EXPECT_LT(with_se - plain, 20e6);  // Table 4: only a few extra M MACs
+}
+
+TEST(Flops, ParamsPositiveAndOrdered) {
+  const SearchSpace space = SearchSpace::fbnet_xavier();
+  const double small = count_params(space, space.uniform_architecture(0));
+  const double large = count_params(
+      space, space.uniform_architecture(space.ops().mbconv_index(7, 6)));
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(Flops, WidthScalingScalesMacs) {
+  const SearchSpace full = SearchSpace::fbnet_xavier();
+  const SearchSpace half = SearchSpace::scaled(0.5, 224);
+  const double full_macs = count_macs(full, full.mobilenet_v2_like());
+  const double half_macs = count_macs(half, half.mobilenet_v2_like());
+  EXPECT_LT(half_macs, full_macs * 0.55);
+}
+
+TEST(Flops, ResolutionScalingScalesMacs) {
+  const SearchSpace full = SearchSpace::fbnet_xavier();
+  const SearchSpace small = SearchSpace::scaled(1.0, 160);
+  EXPECT_LT(count_macs(small, small.mobilenet_v2_like()),
+            count_macs(full, full.mobilenet_v2_like()) * 0.65);
+}
+
+TEST(Flops, StemAndHeadCostsPositive) {
+  const SearchSpace space = SearchSpace::fbnet_xavier();
+  EXPECT_GT(stem_cost(space).macs, 0.0);
+  EXPECT_GT(head_cost(space).macs, 0.0);
+  EXPECT_GT(head_cost(space).params, 1000.0 * 1504);  // FC weights
+}
+
+}  // namespace
+}  // namespace lightnas::space

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "hw/simulator.hpp"
+#include "space/flops.hpp"
+#include "util/stats.hpp"
+
+namespace lightnas::hw {
+namespace {
+
+class HwTest : public ::testing::Test {
+ protected:
+  space::SearchSpace space_ = space::SearchSpace::fbnet_xavier();
+  CostModel model_{DeviceProfile::jetson_xavier_maxn(), 8};
+};
+
+TEST_F(HwTest, Mbv2CalibrationAnchor) {
+  // The device profile is calibrated so the uniform K3_E6 stack lands at
+  // MobileNetV2's reported Xavier latency of ~20.2 ms (batch 8).
+  const double lat = model_.network_latency_ms(space_,
+                                               space_.mobilenet_v2_like());
+  EXPECT_NEAR(lat, 20.2, 0.5);
+}
+
+TEST_F(HwTest, LatencyOrderingAcrossUniformArchs) {
+  const double skip = model_.network_latency_ms(
+      space_, space_.uniform_architecture(space_.ops().skip_index()));
+  const double k3e3 =
+      model_.network_latency_ms(space_, space_.uniform_architecture(0));
+  const double k3e6 = model_.network_latency_ms(
+      space_, space_.mobilenet_v2_like());
+  const double k7e6 = model_.network_latency_ms(
+      space_,
+      space_.uniform_architecture(space_.ops().mbconv_index(7, 6)));
+  EXPECT_LT(skip, k3e3);
+  EXPECT_LT(k3e3, k3e6);
+  EXPECT_LT(k3e6, k7e6);
+}
+
+TEST_F(HwTest, DeterministicModel) {
+  const space::Architecture arch = space_.mobilenet_v2_like();
+  EXPECT_DOUBLE_EQ(model_.network_latency_ms(space_, arch),
+                   model_.network_latency_ms(space_, arch));
+  EXPECT_DOUBLE_EQ(model_.network_energy_mj(space_, arch),
+                   model_.network_energy_mj(space_, arch));
+}
+
+TEST_F(HwTest, BatchSizeIncreasesLatency) {
+  const CostModel batch1(DeviceProfile::jetson_xavier_maxn(), 1);
+  const CostModel batch16(DeviceProfile::jetson_xavier_maxn(), 16);
+  const space::Architecture arch = space_.mobilenet_v2_like();
+  EXPECT_LT(batch1.network_latency_ms(space_, arch),
+            model_.network_latency_ms(space_, arch));
+  EXPECT_LT(model_.network_latency_ms(space_, arch),
+            batch16.network_latency_ms(space_, arch));
+}
+
+TEST_F(HwTest, EnergyTracksLatencyButNotPerfectly) {
+  util::Rng rng(4);
+  std::vector<double> lats, energies;
+  for (int i = 0; i < 60; ++i) {
+    const space::Architecture arch = space_.random_architecture(rng);
+    lats.push_back(model_.network_latency_ms(space_, arch));
+    energies.push_back(model_.network_energy_mj(space_, arch));
+  }
+  const double corr = util::pearson(lats, energies);
+  EXPECT_GT(corr, 0.9);   // energy ~ power * time
+  EXPECT_LT(corr, 1.0);   // but compute/memory mix differs per arch
+}
+
+TEST_F(HwTest, FlopsIsAPoorLatencyProxy) {
+  // The core premise of Fig 2: architectures with similar latency can
+  // differ widely in MACs. Check that the MACs->latency relationship has
+  // materially lower rank correlation than the identity.
+  util::Rng rng(5);
+  std::vector<double> macs, lats;
+  for (int i = 0; i < 150; ++i) {
+    const space::Architecture arch = space_.random_architecture(rng);
+    macs.push_back(space::count_macs(space_, arch));
+    lats.push_back(model_.network_latency_ms(space_, arch));
+  }
+  const double tau = util::kendall_tau(macs, lats);
+  EXPECT_GT(tau, 0.3);   // related...
+  EXPECT_LT(tau, 0.93);  // ...but far from a faithful proxy
+
+  // Spread check: among archs in a narrow latency band, MACs vary a lot.
+  double min_macs = 1e18, max_macs = 0.0;
+  const double band_center = util::median(lats);
+  for (std::size_t i = 0; i < lats.size(); ++i) {
+    if (std::abs(lats[i] - band_center) < 0.75) {
+      min_macs = std::min(min_macs, macs[i]);
+      max_macs = std::max(max_macs, macs[i]);
+    }
+  }
+  EXPECT_GT(max_macs / min_macs, 1.1);
+}
+
+TEST_F(HwTest, DepthwiseIsMemoryBound) {
+  // A depthwise kernel's roofline time must exceed its pure-compute time
+  // on the Xavier profile (that is what decouples latency from FLOPs).
+  KernelWorkload dw;
+  dw.kind = KernelKind::kDepthwise;
+  dw.channels = 192;
+  dw.macs = 8.0 * 14 * 14 * 192 * 9;
+  dw.input_bytes = 8.0 * 28 * 28 * 192 * 4;
+  dw.output_bytes = 8.0 * 14 * 14 * 192 * 4;
+  dw.weight_bytes = 192 * 9 * 4;
+  KernelWorkload pw = dw;
+  pw.kind = KernelKind::kPointwise;
+  // Same workload, pointwise efficiency: faster despite identical bytes.
+  EXPECT_GT(model_.kernel_time_ms(dw), 0.0);
+  EXPECT_LE(model_.kernel_time_ms(pw), model_.kernel_time_ms(dw));
+}
+
+TEST_F(HwTest, SkipOpHasNoKernels) {
+  space::LayerSpec layer;
+  layer.in_channels = 32;
+  layer.out_channels = 32;
+  layer.in_resolution = 14;
+  layer.stride = 1;
+  const auto kernels = model_.operator_kernels(
+      layer, space::Operator{space::OpKind::kSkip, 0, 0}, false);
+  EXPECT_TRUE(kernels.empty());
+}
+
+TEST_F(HwTest, SeAddsKernelsAndTime) {
+  space::LayerSpec layer;
+  layer.in_channels = 32;
+  layer.out_channels = 32;
+  layer.in_resolution = 14;
+  layer.stride = 1;
+  const space::Operator op{space::OpKind::kMBConv, 3, 6};
+  const LayerTiming plain = model_.layer_timing(layer, op, false, 0.0);
+  const LayerTiming with_se = model_.layer_timing(layer, op, true, 0.0);
+  EXPECT_GT(with_se.kernels, plain.kernels);
+  EXPECT_GT(with_se.total_ms, plain.total_ms);
+}
+
+TEST_F(HwTest, CacheResidencyReducesTime) {
+  space::LayerSpec layer;
+  layer.in_channels = 32;
+  layer.out_channels = 32;
+  layer.in_resolution = 28;
+  layer.stride = 1;
+  const space::Operator op{space::OpKind::kMBConv, 3, 6};
+  const double cold =
+      model_.layer_timing(layer, op, false, /*prev_output_bytes=*/0.0)
+          .total_ms;
+  const double warm =
+      model_
+              .layer_timing(layer, op, false,
+                            /*prev_output_bytes=*/256.0 * 1024)
+          .total_ms;
+  EXPECT_LE(warm, cold);
+}
+
+TEST_F(HwTest, IsolatedMeasurementExceedsInContext) {
+  // The LUT-construction bias of Fig 5: isolated per-op measurements pay
+  // sync overheads and lose cache warmth.
+  const space::LayerSpec& layer = space_.layers()[5];
+  const space::Operator op{space::OpKind::kMBConv, 3, 6};
+  const double isolated = model_.isolated_operator_latency_ms(layer, op);
+  const double in_context =
+      model_.layer_timing(layer, op, false, 1024.0).total_ms;
+  EXPECT_GT(isolated, in_context);
+}
+
+TEST_F(HwTest, NoisyMeasurementStatistics) {
+  HardwareSimulator device(DeviceProfile::jetson_xavier_maxn(), 8, 99);
+  const space::Architecture arch = space_.mobilenet_v2_like();
+  const double truth = model_.network_latency_ms(space_, arch);
+  util::RunningStats stats;
+  for (int i = 0; i < 400; ++i) {
+    stats.add(device.measure_latency_ms(space_, arch));
+  }
+  EXPECT_NEAR(stats.mean(), truth, 0.01);
+  EXPECT_NEAR(stats.stddev(),
+              DeviceProfile::jetson_xavier_maxn().latency_noise_ms, 0.01);
+}
+
+TEST_F(HwTest, RepeatedMeasurementReducesNoise) {
+  HardwareSimulator device(DeviceProfile::jetson_xavier_maxn(), 8, 7);
+  const space::Architecture arch = space_.mobilenet_v2_like();
+  const double truth = model_.network_latency_ms(space_, arch);
+  EXPECT_NEAR(device.measure_latency_ms(space_, arch, 64), truth, 0.02);
+}
+
+TEST_F(HwTest, EnergyMeasurementNoisierThanLatency) {
+  HardwareSimulator device(DeviceProfile::jetson_xavier_maxn(), 8, 11);
+  const space::Architecture arch = space_.mobilenet_v2_like();
+  const double truth = model_.network_energy_mj(space_, arch);
+  util::RunningStats stats;
+  for (int i = 0; i < 200; ++i) {
+    stats.add(device.measure_energy_mj(space_, arch) / truth);
+  }
+  EXPECT_GT(stats.stddev(), 0.005);  // thermal + relative noise visible
+  EXPECT_NEAR(stats.mean(), 1.0, 0.05);
+}
+
+TEST_F(HwTest, DeviceProfilesDiffer) {
+  const CostModel nano(DeviceProfile::jetson_nano_like(), 8);
+  const CostModel accel(DeviceProfile::edge_accelerator_like(), 8);
+  const space::Architecture arch = space_.mobilenet_v2_like();
+  const double xavier_lat = model_.network_latency_ms(space_, arch);
+  EXPECT_GT(nano.network_latency_ms(space_, arch), xavier_lat);
+  EXPECT_NE(accel.network_latency_ms(space_, arch), xavier_lat);
+  // Architecture *rankings* differ across devices: the whole reason the
+  // predictor must be retrained per target platform (Sec 3.5).
+  util::Rng rng(21);
+  std::vector<double> xavier_lats, accel_lats;
+  for (int i = 0; i < 60; ++i) {
+    const space::Architecture sample = space_.random_architecture(rng);
+    xavier_lats.push_back(model_.network_latency_ms(space_, sample));
+    accel_lats.push_back(accel.network_latency_ms(space_, sample));
+  }
+  const double tau = util::kendall_tau(xavier_lats, accel_lats);
+  EXPECT_GT(tau, 0.3);   // both still charge for compute...
+  EXPECT_LT(tau, 0.97);  // ...but the orderings visibly disagree
+}
+
+TEST_F(HwTest, XavierPowerModesSlowDownConsistently) {
+  // nvpmodel power caps reduce clocks: MAXN < 30W < 15W latency, while
+  // energy per inference stays in the same ballpark (lower power, more
+  // time).
+  const CostModel maxn(DeviceProfile::jetson_xavier_maxn(), 8);
+  const CostModel w30(DeviceProfile::jetson_xavier_30w(), 8);
+  const CostModel w15(DeviceProfile::jetson_xavier_15w(), 8);
+  const space::Architecture arch = space_.mobilenet_v2_like();
+  const double lat_maxn = maxn.network_latency_ms(space_, arch);
+  const double lat_30 = w30.network_latency_ms(space_, arch);
+  const double lat_15 = w15.network_latency_ms(space_, arch);
+  EXPECT_LT(lat_maxn, lat_30);
+  EXPECT_LT(lat_30, lat_15);
+  // Rankings stay strongly correlated across power modes (same silicon).
+  util::Rng rng(33);
+  std::vector<double> a, b;
+  for (int i = 0; i < 40; ++i) {
+    const space::Architecture sample = space_.random_architecture(rng);
+    a.push_back(maxn.network_latency_ms(space_, sample));
+    b.push_back(w15.network_latency_ms(space_, sample));
+  }
+  EXPECT_GT(util::kendall_tau(a, b), 0.8);
+}
+
+TEST_F(HwTest, EnergyInPlausibleRange) {
+  // Fig 8's energy constraint is 500 mJ; the space must straddle it.
+  const double skip_e = model_.network_energy_mj(
+      space_, space_.uniform_architecture(space_.ops().skip_index()));
+  const double big_e = model_.network_energy_mj(
+      space_,
+      space_.uniform_architecture(space_.ops().mbconv_index(7, 6)));
+  EXPECT_LT(skip_e, 500.0);
+  EXPECT_GT(big_e, 500.0);
+}
+
+}  // namespace
+}  // namespace lightnas::hw

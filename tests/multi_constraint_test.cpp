@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/lightnas.hpp"
+#include "hw/cost_model.hpp"
+#include "nn/ops.hpp"
+#include "predictors/predictor.hpp"
+
+namespace lightnas::core {
+namespace {
+
+/// Linear differentiable oracle over a metric of the cost model (see
+/// core_test.cpp for the construction rationale).
+class LinearOracle : public predictors::HardwarePredictor {
+ public:
+  LinearOracle(const space::SearchSpace& space, const hw::CostModel& model,
+               bool energy)
+      : space_(&space), unit_(energy ? "mJ" : "ms") {
+    auto measure = [&](const space::Architecture& arch) {
+      return energy ? model.network_energy_mj(space, arch)
+                    : model.network_latency_ms(space, arch);
+    };
+    weights_.resize(space.num_layers() * space.num_ops());
+    const space::Architecture base =
+        space.uniform_architecture(space.ops().skip_index());
+    base_ = measure(base);
+    for (std::size_t l = 0; l < space.num_layers(); ++l) {
+      for (std::size_t k = 0; k < space.num_ops(); ++k) {
+        space::Architecture probe = base;
+        if (space.layers()[l].searchable) probe.set_op(l, k);
+        weights_[l * space.num_ops() + k] = measure(probe) - base_;
+      }
+    }
+  }
+  double predict(const space::Architecture& arch) const override {
+    const auto enc = arch.encode_one_hot(space_->num_ops());
+    double total = base_;
+    for (std::size_t i = 0; i < enc.size(); ++i) {
+      total += enc[i] * weights_[i];
+    }
+    return total;
+  }
+  nn::VarPtr forward_var(const nn::VarPtr& encoding) const override {
+    nn::Tensor w(weights_.size(), 1);
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      w[i] = static_cast<float>(weights_[i]);
+    }
+    return nn::ops::add_scalar(
+        nn::ops::matmul(encoding, nn::make_const(std::move(w))), base_);
+  }
+  std::string unit() const override { return unit_; }
+
+ private:
+  const space::SearchSpace* space_;
+  std::string unit_;
+  std::vector<double> weights_;
+  double base_ = 0.0;
+};
+
+class MultiConstraintTest : public ::testing::Test {
+ protected:
+  static LightNasConfig search_config() {
+    LightNasConfig config;
+    config.epochs = 30;
+    config.warmup_epochs = 8;
+    config.w_steps_per_epoch = 16;
+    config.alpha_steps_per_epoch = 16;
+    config.batch_size = 32;
+    config.seed = 4;
+    return config;
+  }
+
+  space::SearchSpace space_ = space::SearchSpace::fbnet_xavier();
+  hw::CostModel model_{hw::DeviceProfile::jetson_xavier_maxn(), 8};
+  LinearOracle latency_{space_, model_, false};
+  LinearOracle energy_{space_, model_, true};
+  nn::SyntheticTask task_ = nn::make_synthetic_task([] {
+    nn::SyntheticTaskConfig config;
+    config.train_size = 2048;
+    config.valid_size = 512;
+    return config;
+  }());
+};
+
+TEST_F(MultiConstraintTest, SingleConstraintCtorEquivalence) {
+  LightNasConfig config = search_config();
+  config.target = 24.0;
+  LightNas a(space_, latency_, task_, SupernetConfig{}, config);
+  LightNas b(space_, {Constraint{&latency_, 24.0}}, task_,
+             SupernetConfig{}, config);
+  EXPECT_EQ(a.num_constraints(), 1u);
+  EXPECT_EQ(a.search().architecture.ops(), b.search().architecture.ops());
+}
+
+TEST_F(MultiConstraintTest, BothConstraintsTracked) {
+  // Latency and energy are correlated but not identical; pick a pair of
+  // targets that is jointly reachable (the MBV2-like point: ~20 ms /
+  // ~490 mJ).
+  const double t_lat = 21.0;
+  const double t_energy = 520.0;
+  LightNas engine(space_,
+                  {Constraint{&latency_, t_lat},
+                   Constraint{&energy_, t_energy}},
+                  task_, SupernetConfig{}, search_config());
+  const SearchResult result = engine.search();
+  ASSERT_EQ(result.final_costs.size(), 2u);
+  EXPECT_NEAR(result.final_costs[0], t_lat, 0.15 * t_lat);
+  EXPECT_NEAR(result.final_costs[1], t_energy, 0.15 * t_energy);
+  // Telemetry carries both series.
+  for (const SearchEpochStats& stats : result.trace) {
+    ASSERT_EQ(stats.predicted_costs.size(), 2u);
+    ASSERT_EQ(stats.lambdas.size(), 2u);
+    EXPECT_DOUBLE_EQ(stats.lambda, stats.lambdas[0]);
+    EXPECT_DOUBLE_EQ(stats.predicted_cost, stats.predicted_costs[0]);
+  }
+}
+
+TEST_F(MultiConstraintTest, IndependentLambdasLearned) {
+  // Targets chosen so one constraint binds from above and the other from
+  // below: the two lambdas must end with different signs or magnitudes.
+  LightNas engine(space_,
+                  {Constraint{&latency_, 18.0},   // tight (pulls down)
+                   Constraint{&energy_, 900.0}},  // loose (pulls up)
+                  task_, SupernetConfig{}, search_config());
+  const SearchResult result = engine.search();
+  ASSERT_EQ(result.final_lambdas.size(), 2u);
+  EXPECT_NE(result.final_lambdas[0], result.final_lambdas[1]);
+}
+
+}  // namespace
+}  // namespace lightnas::core

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/autograd.hpp"
+#include "nn/optim.hpp"
+
+namespace lightnas::nn {
+namespace {
+
+VarPtr leaf_with_grad(float value, float grad) {
+  VarPtr v = make_leaf(Tensor::scalar(value));
+  v->ensure_grad();
+  v->grad.fill(grad);
+  return v;
+}
+
+TEST(CosineSchedule, EndpointsAndMonotoneDecay) {
+  const CosineSchedule sched(1.0, 100);
+  EXPECT_NEAR(sched.lr_at(0), 1.0, 1e-9);
+  EXPECT_NEAR(sched.lr_at(50), 0.5, 0.01);
+  EXPECT_NEAR(sched.lr_at(100), 0.0, 1e-9);
+  for (std::size_t s = 1; s < 100; ++s) {
+    EXPECT_LE(sched.lr_at(s), sched.lr_at(s - 1) + 1e-12);
+  }
+}
+
+TEST(CosineSchedule, WarmupRampsLinearly) {
+  const CosineSchedule sched(0.5, 100, 10, 0.1);
+  EXPECT_NEAR(sched.lr_at(0), 0.1 + 0.4 * 0.1, 1e-9);
+  EXPECT_NEAR(sched.lr_at(9), 0.5, 1e-9);
+  EXPECT_GT(sched.lr_at(10), sched.lr_at(60));
+}
+
+TEST(Sgd, PlainStepMatchesHandComputed) {
+  VarPtr p = leaf_with_grad(1.0f, 0.5f);
+  Sgd opt({p}, 0.1);
+  opt.step();
+  EXPECT_NEAR(p->value.item(), 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  VarPtr p = leaf_with_grad(0.0f, 1.0f);
+  Sgd opt({p}, 0.1, 0.9);
+  opt.step();  // v=1, p=-0.1
+  p->grad.fill(1.0f);
+  opt.step();  // v=1.9, p=-0.29
+  EXPECT_NEAR(p->value.item(), -0.29f, 1e-5f);
+}
+
+TEST(Sgd, WeightDecayShrinksParams) {
+  VarPtr p = leaf_with_grad(2.0f, 0.0f);
+  Sgd opt({p}, 0.1, 0.0, 0.5);
+  opt.step();  // g = 0 + 0.5*2 = 1 -> p = 2 - 0.1 = 1.9
+  EXPECT_NEAR(p->value.item(), 1.9f, 1e-6f);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  VarPtr p = leaf_with_grad(1.0f, 3.0f);
+  Sgd opt({p}, 0.1);
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p->grad.item(), 0.0f);
+}
+
+TEST(Sgd, ClipNormBoundsUpdate) {
+  VarPtr p = leaf_with_grad(0.0f, 100.0f);
+  Sgd opt({p}, 1.0, 0.0, 0.0, /*clip_norm=*/1.0);
+  opt.step();
+  EXPECT_NEAR(p->value.item(), -1.0f, 1e-5f);
+}
+
+TEST(ClipGradNorm, ReturnsPreClipNormAndScales) {
+  VarPtr a = leaf_with_grad(0.0f, 3.0f);
+  VarPtr b = leaf_with_grad(0.0f, 4.0f);
+  const double norm = clip_grad_norm({a, b}, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(a->grad.item(), 0.6f, 1e-5f);
+  EXPECT_NEAR(b->grad.item(), 0.8f, 1e-5f);
+}
+
+TEST(ClipGradNorm, NoOpBelowThreshold) {
+  VarPtr a = leaf_with_grad(0.0f, 0.3f);
+  clip_grad_norm({a}, 1.0);
+  EXPECT_FLOAT_EQ(a->grad.item(), 0.3f);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // With bias correction the first Adam step is ~lr * sign(g).
+  VarPtr p = leaf_with_grad(0.0f, 0.123f);
+  Adam opt({p}, 0.01);
+  opt.step();
+  EXPECT_NEAR(p->value.item(), -0.01f, 1e-4f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimize (x - 3)^2 by supplying its gradient manually.
+  VarPtr x = make_leaf(Tensor::scalar(0.0f));
+  Adam opt({x}, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    x->ensure_grad();
+    x->grad.fill(2.0f * (x->value.item() - 3.0f));
+    opt.step();
+    x->zero_grad();
+  }
+  EXPECT_NEAR(x->value.item(), 3.0f, 0.05f);
+}
+
+TEST(Adam, WeightDecayPullsTowardZero) {
+  VarPtr p = make_leaf(Tensor::scalar(5.0f));
+  Adam opt({p}, 0.1, 0.9, 0.999, 1e-8, 0.5);
+  for (int i = 0; i < 200; ++i) {
+    p->zero_grad();
+    opt.step();
+  }
+  EXPECT_LT(std::abs(p->value.item()), 1.0f);
+}
+
+TEST(LambdaAscent, RisesWhenOverTarget) {
+  LambdaAscent lambda(0.1);
+  lambda.step(0.5);  // LAT/T - 1 = +0.5
+  EXPECT_NEAR(lambda.value(), 0.05, 1e-12);
+}
+
+TEST(LambdaAscent, GoesNegativeWhenUnderTarget) {
+  // Unclamped by default: the equality constraint LAT = T requires a
+  // negative multiplier when the architecture is too fast (Sec 3.4).
+  LambdaAscent lambda(0.1);
+  lambda.step(-0.5);
+  EXPECT_NEAR(lambda.value(), -0.05, 1e-12);
+}
+
+TEST(LambdaAscent, ClampVariantStaysNonNegative) {
+  LambdaAscent lambda(0.1, 0.0, /*clamp_at_zero=*/true);
+  lambda.step(-1.0);
+  EXPECT_DOUBLE_EQ(lambda.value(), 0.0);
+  lambda.step(1.0);
+  EXPECT_GT(lambda.value(), 0.0);
+}
+
+TEST(LambdaAscent, FixedPointAtTarget) {
+  LambdaAscent lambda(0.1, 0.7);
+  lambda.step(0.0);  // LAT == T
+  EXPECT_DOUBLE_EQ(lambda.value(), 0.7);
+}
+
+}  // namespace
+}  // namespace lightnas::nn

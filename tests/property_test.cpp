@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "core/lightnas.hpp"
+#include "eval/zoo.hpp"
+#include "hw/cost_model.hpp"
+#include "nn/ops.hpp"
+#include "predictors/lut_predictor.hpp"
+#include "space/flops.hpp"
+
+namespace lightnas {
+namespace {
+
+// ---------------------------------------------------------------------
+// Encoding round-trip over many random architectures.
+// ---------------------------------------------------------------------
+
+class EncodingRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EncodingRoundTrip, OneHotAndSerializeAreLossless) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  util::Rng rng(GetParam());
+  const space::Architecture arch = space.random_architecture(rng);
+  const space::Architecture via_one_hot = space::Architecture::decode_one_hot(
+      arch.encode_one_hot(space.num_ops()), space.num_layers(),
+      space.num_ops());
+  EXPECT_EQ(via_one_hot.ops(), arch.ops());
+  EXPECT_EQ(space::Architecture::deserialize(arch.serialize()), arch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89, 144, 233));
+
+// ---------------------------------------------------------------------
+// Cost-model invariants per operator position.
+// ---------------------------------------------------------------------
+
+class PerLayerUpgrade : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PerLayerUpgrade, UpgradingOneLayerNeverReducesCostAnywhere) {
+  const std::size_t layer = GetParam();
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const hw::CostModel model(hw::DeviceProfile::jetson_xavier_maxn(), 8);
+  space::Architecture base = space.mobilenet_v2_like();
+
+  // Skip < K3_E3 < K3_E6 <= K5_E6 <= K7_E6 in latency, MACs and energy.
+  const std::size_t ladder[] = {
+      space.ops().skip_index(), space.ops().mbconv_index(3, 3),
+      space.ops().mbconv_index(3, 6), space.ops().mbconv_index(5, 6),
+      space.ops().mbconv_index(7, 6)};
+  double prev_lat = 0.0, prev_macs = 0.0, prev_energy = 0.0;
+  for (std::size_t step = 0; step < std::size(ladder); ++step) {
+    base.set_op(layer, ladder[step]);
+    const double lat = model.network_latency_ms(space, base);
+    const double macs = space::count_macs(space, base);
+    const double energy = model.network_energy_mj(space, base);
+    if (step > 0) {
+      EXPECT_GE(lat, prev_lat) << "layer " << layer << " step " << step;
+      EXPECT_GE(macs, prev_macs);
+      EXPECT_GE(energy, prev_energy);
+    }
+    prev_lat = lat;
+    prev_macs = macs;
+    prev_energy = energy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, PerLayerUpgrade,
+                         ::testing::Range<std::size_t>(1, 22));
+
+// ---------------------------------------------------------------------
+// The LUT is exactly linear: predict == dot(encoding, entries) for any
+// architecture (checked across seeds).
+// ---------------------------------------------------------------------
+
+class LutLinearity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LutLinearity, PredictMatchesEncodingDot) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  hw::HardwareSimulator device(hw::DeviceProfile::jetson_xavier_maxn(), 8,
+                               GetParam());
+  const predictors::LutPredictor lut(space, device);
+  util::Rng rng(GetParam() ^ 0x5a5aULL);
+  const space::Architecture arch = space.random_architecture(rng);
+  EXPECT_NEAR(lut.predict(arch),
+              lut.predict_encoding(arch.encode_one_hot(space.num_ops())),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LutLinearity, ::testing::Values(1, 7, 19));
+
+// ---------------------------------------------------------------------
+// Zoo stand-ins: latency fitting works across the Table-2 range.
+// ---------------------------------------------------------------------
+
+class LatencyFit : public ::testing::TestWithParam<double> {};
+
+TEST_P(LatencyFit, HillClimbLandsNearTarget) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const hw::CostModel model(hw::DeviceProfile::jetson_xavier_maxn(), 8);
+  const space::Architecture arch =
+      eval::fit_architecture_to_latency(space, model, GetParam(), 123);
+  EXPECT_NEAR(model.network_latency_ms(space, arch), GetParam(), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetsMs, LatencyFit,
+                         ::testing::Values(15.0, 18.0, 20.2, 22.0, 24.5,
+                                           26.4, 29.3, 31.0));
+
+// ---------------------------------------------------------------------
+// The headline property: one-shot search tracks the requested target.
+// Uses a fast linear predictor so the sweep stays CI-sized; the full
+// MLP-predictor pipeline is covered by integration tests and benches.
+// ---------------------------------------------------------------------
+
+class SearchHitsTarget : public ::testing::TestWithParam<double> {
+ protected:
+  /// Linear differentiable oracle (see core_test.cpp for rationale).
+  class LinearOracle : public predictors::HardwarePredictor {
+   public:
+    LinearOracle(const space::SearchSpace& space, const hw::CostModel& model)
+        : space_(&space) {
+      weights_.resize(space.num_layers() * space.num_ops());
+      const space::Architecture base =
+          space.uniform_architecture(space.ops().skip_index());
+      base_ = model.network_latency_ms(space, base);
+      for (std::size_t l = 0; l < space.num_layers(); ++l) {
+        for (std::size_t k = 0; k < space.num_ops(); ++k) {
+          space::Architecture probe = base;
+          if (space.layers()[l].searchable) probe.set_op(l, k);
+          weights_[l * space.num_ops() + k] =
+              model.network_latency_ms(space, probe) - base_;
+        }
+      }
+    }
+    double predict(const space::Architecture& arch) const override {
+      const auto enc = arch.encode_one_hot(space_->num_ops());
+      double total = base_;
+      for (std::size_t i = 0; i < enc.size(); ++i) {
+        total += enc[i] * weights_[i];
+      }
+      return total;
+    }
+    nn::VarPtr forward_var(const nn::VarPtr& encoding) const override {
+      nn::Tensor w(weights_.size(), 1);
+      for (std::size_t i = 0; i < weights_.size(); ++i) {
+        w[i] = static_cast<float>(weights_[i]);
+      }
+      return nn::ops::add_scalar(
+          nn::ops::matmul(encoding, nn::make_const(std::move(w))), base_);
+    }
+    std::string unit() const override { return "ms"; }
+
+   private:
+    const space::SearchSpace* space_;
+    std::vector<double> weights_;
+    double base_ = 0.0;
+  };
+};
+
+TEST_P(SearchHitsTarget, PredictedCostWithinTolerance) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const hw::CostModel model(hw::DeviceProfile::jetson_xavier_maxn(), 8);
+  const LinearOracle predictor(space, model);
+  // Self-calibrating target: a fraction of the oracle's own reachable
+  // range, so the sweep is robust to cost-model retuning.
+  const double lo = predictor.predict(
+      space.uniform_architecture(space.ops().skip_index()));
+  const double hi = predictor.predict(
+      space.uniform_architecture(space.ops().mbconv_index(7, 6)));
+  const double target = lo + GetParam() * (hi - lo);
+
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = 2048;
+  task_config.valid_size = 512;
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+
+  core::LightNasConfig config;
+  config.target = target;
+  config.epochs = 36;
+  config.warmup_epochs = 8;
+  config.w_steps_per_epoch = 16;
+  config.alpha_steps_per_epoch = 16;
+  config.batch_size = 32;
+  config.seed = 4;
+  core::LightNas engine(space, predictor, task, core::SupernetConfig{},
+                        config);
+  const core::SearchResult result = engine.search();
+  EXPECT_NEAR(result.final_predicted_cost, target, 0.12 * target)
+      << "target " << target;
+}
+
+// Fractions of the reachable cost range. Targets very close to the
+// ceiling need the full-scale budget to settle; the CI-sized sweep
+// checks the working range.
+INSTANTIATE_TEST_SUITE_P(TargetsMs, SearchHitsTarget,
+                         ::testing::Values(0.45, 0.60, 0.72));
+
+// ---------------------------------------------------------------------
+// Mutation validity across every operator as the mutation source.
+// ---------------------------------------------------------------------
+
+class MutationFromUniform : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MutationFromUniform, AlwaysProducesValidArchitectures) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  util::Rng rng(GetParam() * 31 + 7);
+  const space::Architecture base = space.uniform_architecture(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const space::Architecture child = space.mutate(base, 4, rng);
+    ASSERT_EQ(child.num_layers(), space.num_layers());
+    EXPECT_EQ(child.op_at(0), base.op_at(0));
+    for (std::size_t l = 0; l < child.num_layers(); ++l) {
+      ASSERT_LT(child.op_at(l), space.num_ops());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, MutationFromUniform,
+                         ::testing::Range<std::size_t>(0, 7));
+
+}  // namespace
+}  // namespace lightnas

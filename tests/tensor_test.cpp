@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::nn {
+namespace {
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+  t.fill(0.0f);
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+}
+
+TEST(Tensor, Factories) {
+  EXPECT_FLOAT_EQ(Tensor::zeros(2, 2).sum(), 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::ones(2, 2).sum(), 4.0f);
+  EXPECT_FLOAT_EQ(Tensor::full(2, 2, 3.0f).sum(), 12.0f);
+  EXPECT_FLOAT_EQ(Tensor::scalar(7.0f).item(), 7.0f);
+}
+
+TEST(Tensor, FromRows) {
+  const Tensor t = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, ElementwiseInplace) {
+  Tensor a = Tensor::from_rows({{1.0f, 2.0f}});
+  const Tensor b = Tensor::from_rows({{3.0f, 4.0f}});
+  a.add_inplace(b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 4.0f);
+  a.sub_inplace(b);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 2.0f);
+  a.scale_inplace(2.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 2.0f);
+  a.axpy_inplace(0.5f, b);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 6.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  const Tensor t = Tensor::from_rows({{1.0f, 2.0f, 3.0f, 4.0f}});
+  const Tensor r = t.reshaped(2, 2);
+  EXPECT_EQ(r.rows(), 2u);
+  EXPECT_FLOAT_EQ(r.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, SumMeanAbsMax) {
+  const Tensor t = Tensor::from_rows({{-5.0f, 2.0f}, {1.0f, 2.0f}});
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 0.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 5.0f);
+}
+
+TEST(Tensor, ArgmaxRow) {
+  const Tensor t = Tensor::from_rows({{0.1f, 0.9f, 0.5f}, {2.0f, 1.0f, 0.0f}});
+  EXPECT_EQ(t.argmax_row(0), 1u);
+  EXPECT_EQ(t.argmax_row(1), 0u);
+}
+
+TEST(Tensor, RandnStatistics) {
+  util::Rng rng(3);
+  const Tensor t = Tensor::randn(100, 100, rng, 2.0f);
+  EXPECT_NEAR(t.mean(), 0.0f, 0.05f);
+  double var = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    var += static_cast<double>(t[i]) * static_cast<double>(t[i]);
+  }
+  EXPECT_NEAR(var / static_cast<double>(t.size()), 4.0, 0.2);
+}
+
+TEST(Tensor, MatmulMatchesHandComputed) {
+  const Tensor a = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  const Tensor b = Tensor::from_rows({{5.0f, 6.0f}, {7.0f, 8.0f}});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Tensor, MatmulTransposedVariantsAgree) {
+  util::Rng rng(5);
+  const Tensor a = Tensor::randn(4, 3, rng);
+  const Tensor b = Tensor::randn(3, 5, rng);
+  const Tensor c = matmul(a, b);
+
+  // matmul_tn(a^T stored as a, b) == a^T b: build a^T explicitly.
+  Tensor at(3, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t col = 0; col < 3; ++col) at.at(col, r) = a.at(r, col);
+  }
+  const Tensor c2 = matmul_tn(at, b);
+  ASSERT_TRUE(c2.same_shape(c));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c2[i], c[i], 1e-4f);
+  }
+
+  Tensor bt(5, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t col = 0; col < 5; ++col) bt.at(col, r) = b.at(r, col);
+  }
+  const Tensor c3 = matmul_nt(a, bt);
+  ASSERT_TRUE(c3.same_shape(c));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c3[i], c[i], 1e-4f);
+  }
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor(2, 3).shape_string(), "(2 x 3)");
+}
+
+}  // namespace
+}  // namespace lightnas::nn

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/plot.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace lightnas::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next_u64() != b.next_u64()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++counts[rng.uniform_index(5)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  std::vector<double> xs;
+  xs.reserve(50000);
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, GumbelMomentsMatch) {
+  // Gumbel(0,1): mean = Euler-Mascheroni ~ 0.5772, var = pi^2/6.
+  Rng rng(17);
+  std::vector<double> xs;
+  xs.reserve(50000);
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.gumbel());
+  EXPECT_NEAR(mean(xs), 0.5772, 0.03);
+  EXPECT_NEAR(variance(xs), 1.6449, 0.08);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.categorical(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / 10000.0, 0.75, 0.02);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(29);
+  const auto perm = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (std::size_t v : perm) {
+    ASSERT_LT(v, 50u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, MinMaxMedianPercentile) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 5.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(Stats, RmseMaeBias) {
+  const std::vector<double> pred{2.0, 4.0};
+  const std::vector<double> truth{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(rmse(pred, truth), std::sqrt((1.0 + 4.0) / 2.0));
+  EXPECT_DOUBLE_EQ(mae(pred, truth), 1.5);
+  EXPECT_DOUBLE_EQ(mean_bias(pred, truth), 1.5);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{-2.0, -4.0, -6.0};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, KendallTauOrderings) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> same{10.0, 20.0, 30.0, 40.0};
+  const std::vector<double> reversed{4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(kendall_tau(xs, same), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(xs, reversed), -1.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0);
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> xs{1.0, 5.0, 2.0, 8.0, -1.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 8.0);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_separator();
+  table.add_row({"beta", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ms(23.94), "23.9");
+  EXPECT_EQ(fmt_pct(75.45), "75.5");  // rounds half away like printf %.1f
+  EXPECT_EQ(fmt_signed(0.4, 1), "+0.4");
+  EXPECT_EQ(fmt_signed(-1.23, 2), "-1.23");
+}
+
+TEST(Csv, WritesEscapedCells) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({std::vector<std::string>{"x,y", "plain"}});
+  std::ostringstream oss;
+  csv.write(oss);
+  EXPECT_EQ(oss.str(), "a,b\n\"x,y\",plain\n");
+}
+
+TEST(AsciiChart, RendersSeriesAndReference) {
+  AsciiChart chart(32, 8);
+  chart.add_series("rising", {1.0, 2.0, 3.0, 4.0}, '*');
+  chart.add_hline(2.5, '.');
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+  EXPECT_NE(out.find("rising"), std::string::npos);
+  // 8 grid rows + axis + x labels + legend
+  EXPECT_GE(std::count(out.begin(), out.end(), '\n'), 10);
+}
+
+TEST(AsciiChart, EmptyAndFlatSeriesAreSafe) {
+  AsciiChart empty(32, 8);
+  EXPECT_EQ(empty.render(), "(empty chart)\n");
+  AsciiChart flat(32, 8);
+  flat.add_series("flat", {5.0, 5.0, 5.0}, '#');
+  EXPECT_NE(flat.render().find('#'), std::string::npos);
+}
+
+TEST(AsciiHistogram, CountsSumToInput) {
+  std::vector<double> values;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) values.push_back(rng.normal());
+  const std::string out = ascii_histogram(values, 8);
+  // Eight bucket lines, each with a count column.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 8);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiHistogram, EmptyInputIsSafe) {
+  EXPECT_EQ(ascii_histogram({}, 4), "(no data)\n");
+}
+
+TEST(Csv, NumericRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row(std::vector<double>{1.5, 2.0});
+  std::ostringstream oss;
+  csv.write(oss);
+  EXPECT_NE(oss.str().find("1.5"), std::string::npos);
+  EXPECT_EQ(csv.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace lightnas::util

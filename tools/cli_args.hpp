@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lightnas::cli {
+
+/// Minimal `--flag value` argument parser for the lightnas tool.
+/// Flags are always long-form and always take one value (booleans are
+/// "--flag 1"); positional arguments collect everything else in order.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        if (i + 1 >= argc) {
+          throw std::runtime_error("flag '" + token + "' needs a value");
+        }
+        flags_[token.substr(2)] = argv[++i];
+      } else {
+        positional_.push_back(token);
+      }
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const {
+    return flags_.count(name) != 0;
+  }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = {}) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      if (fallback.empty()) {
+        throw std::runtime_error("missing required flag --" + name);
+      }
+      return fallback;
+    }
+    return it->second;
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::stod(it->second);
+  }
+
+  double require_double(const std::string& name) const {
+    return std::stod(get(name));
+  }
+
+  std::size_t get_size(const std::string& name, std::size_t fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end()
+               ? fallback
+               : static_cast<std::size_t>(std::stoull(it->second));
+  }
+
+  /// Flags nobody consumed are usually typos; callers can report them.
+  std::vector<std::string> flag_names() const {
+    std::vector<std::string> names;
+    for (const auto& [key, value] : flags_) names.push_back(key);
+    return names;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lightnas::cli

@@ -1,0 +1,259 @@
+// lightnas — command-line frontend for the full pipeline.
+//
+//   lightnas measure          run a measurement campaign -> dataset.json
+//   lightnas train-predictor  fit the MLP predictor       -> predictor.json
+//   lightnas eval-predictor   held-out quality report
+//   lightnas search           one-shot constrained search -> result.json
+//   lightnas show             inspect an architecture / search result
+//   lightnas predict          predict the cost of an architecture
+//   lightnas devices          list the built-in device profiles
+//
+// Every artifact is a self-describing JSON file, so campaigns (the
+// expensive part) are run once and reused across searches — exactly the
+// deployment workflow the paper argues for.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cli_args.hpp"
+#include "core/lightnas.hpp"
+#include "eval/accuracy_model.hpp"
+#include "io/serialize.hpp"
+#include "predictors/lut_predictor.hpp"
+#include "space/flops.hpp"
+#include "util/table.hpp"
+
+using namespace lightnas;
+
+namespace {
+
+hw::DeviceProfile device_by_name(const std::string& name) {
+  if (name == "xavier" || name == "xavier-maxn") {
+    return hw::DeviceProfile::jetson_xavier_maxn();
+  }
+  if (name == "xavier-30w") return hw::DeviceProfile::jetson_xavier_30w();
+  if (name == "xavier-15w") return hw::DeviceProfile::jetson_xavier_15w();
+  if (name == "nano") return hw::DeviceProfile::jetson_nano_like();
+  if (name == "accel") return hw::DeviceProfile::edge_accelerator_like();
+  throw std::runtime_error("unknown device '" + name +
+                           "' (try: lightnas devices)");
+}
+
+int cmd_devices() {
+  util::Table table({"name", "peak GMAC/s", "bw GB/s", "MBV2-like (ms)",
+                     "MBV2-like (mJ)"});
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  for (const std::string& name :
+       {"xavier", "xavier-30w", "xavier-15w", "nano", "accel"}) {
+    const hw::DeviceProfile profile = device_by_name(name);
+    const hw::CostModel model(profile, 8);
+    const space::Architecture mbv2 = space.mobilenet_v2_like();
+    table.add_row({name, util::fmt_double(profile.peak_gmacs, 0),
+                   util::fmt_double(profile.memory_bandwidth_gbs, 0),
+                   util::fmt_ms(model.network_latency_ms(space, mbv2)),
+                   util::fmt_double(model.network_energy_mj(space, mbv2),
+                                    0)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_measure(const cli::Args& args) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  hw::HardwareSimulator device(device_by_name(args.get("device", "xavier")),
+                               args.get_size("batch", 8),
+                               args.get_size("seed", 42));
+  const std::string metric_name = args.get("metric", "latency");
+  const predictors::Metric metric = metric_name == "energy"
+                                        ? predictors::Metric::kEnergyMj
+                                        : predictors::Metric::kLatencyMs;
+  const std::size_t samples = args.get_size("samples", 10000);
+  util::Rng rng(args.get_size("seed", 42) + 1);
+
+  std::fprintf(stderr, "measuring %zu architectures (%s) on %s...\n",
+               samples, metric_name.c_str(),
+               device.profile().name.c_str());
+  const predictors::MeasurementDataset data =
+      predictors::build_measurement_dataset(space, device, samples, metric,
+                                            rng);
+  const std::string out = args.get("out", "dataset.json");
+  io::save_dataset(out, data, space.num_ops());
+  std::printf("wrote %zu measurements to %s\n", data.size(), out.c_str());
+  return 0;
+}
+
+int cmd_train_predictor(const cli::Args& args) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  predictors::MeasurementDataset data =
+      io::load_dataset(args.get("dataset", "dataset.json"));
+  util::Rng rng(7);
+  auto [train, valid] = data.split(0.8, rng);
+
+  predictors::MlpPredictor predictor(space.num_layers(), space.num_ops(),
+                                     args.get_size("seed", 7),
+                                     args.get("unit", "ms"));
+  predictors::MlpTrainConfig config;
+  config.epochs = args.get_size("epochs", 120);
+  config.batch_size = args.get_size("batch", 128);
+  config.log_every = args.get_size("log-every", 20);
+  std::fprintf(stderr, "training on %zu / validating on %zu samples...\n",
+               train.size(), valid.size());
+  predictor.train(train, config);
+  std::printf("held-out: %s\n",
+              predictor.evaluate(valid).to_string(predictor.unit()).c_str());
+
+  const std::string out = args.get("out", "predictor.json");
+  io::save_predictor(out, predictor);
+  std::printf("wrote predictor to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_eval_predictor(const cli::Args& args) {
+  const predictors::MlpPredictor predictor =
+      io::load_predictor(args.get("predictor", "predictor.json"));
+  const predictors::MeasurementDataset data =
+      io::load_dataset(args.get("dataset", "dataset.json"));
+  std::printf("%s\n",
+              predictor.evaluate(data).to_string(predictor.unit()).c_str());
+  return 0;
+}
+
+int cmd_search(const cli::Args& args) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const predictors::MlpPredictor predictor =
+      io::load_predictor(args.get("predictor", "predictor.json"));
+
+  std::vector<core::Constraint> constraints;
+  constraints.push_back({&predictor, args.require_double("target")});
+  std::unique_ptr<predictors::MlpPredictor> second;
+  if (args.has("predictor2")) {
+    second = std::make_unique<predictors::MlpPredictor>(
+        io::load_predictor(args.get("predictor2")));
+    constraints.push_back({second.get(), args.require_double("target2")});
+  }
+
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = args.get_size("task-size", 16384);
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+
+  core::LightNasConfig config;
+  config.seed = args.get_size("seed", 0);
+  config.epochs = args.get_size("epochs", 55);
+  config.log_progress = args.get("verbose", "0") != "0";
+
+  std::fprintf(stderr, "searching (one run)...\n");
+  core::LightNas engine(space, constraints, task, core::SupernetConfig{},
+                        config);
+  const core::SearchResult result = engine.search();
+
+  std::printf("%s\n\n", result.architecture.to_diagram(space).c_str());
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    std::printf("constraint %zu: predicted %.2f %s (target %.2f)\n", c,
+                result.final_costs[c],
+                constraints[c].predictor->unit().c_str(),
+                constraints[c].target);
+  }
+  std::printf("serialized: %s\n", result.architecture.serialize().c_str());
+
+  const std::string out = args.get("out", "result.json");
+  io::save_search_result(out, result);
+  std::printf("wrote search result (with trace) to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_show(const cli::Args& args) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  space::Architecture arch;
+  if (args.has("result")) {
+    arch = io::load_search_result(args.get("result")).architecture;
+  } else {
+    arch = space::Architecture::deserialize(args.get("arch"));
+  }
+  if (arch.num_layers() != space.num_layers()) {
+    throw std::runtime_error("architecture has wrong layer count");
+  }
+
+  const hw::CostModel model(device_by_name(args.get("device", "xavier")),
+                            args.get_size("batch", 8));
+  const eval::AccuracyModel accuracy(space);
+  std::printf("%s\n\n", arch.to_diagram(space).c_str());
+  util::Table table({"metric", "value"});
+  table.add_row({"MACs",
+                 util::fmt_double(space::count_macs(space, arch) / 1e6, 1) +
+                     " M"});
+  table.add_row({"params",
+                 util::fmt_double(space::count_params(space, arch) / 1e6,
+                                  2) +
+                     " M"});
+  table.add_row({"latency (sim)",
+                 util::fmt_ms(model.network_latency_ms(space, arch)) +
+                     " ms"});
+  table.add_row({"energy (sim)",
+                 util::fmt_double(model.network_energy_mj(space, arch), 0) +
+                     " mJ"});
+  table.add_row({"effective depth",
+                 std::to_string(arch.effective_depth(space))});
+  table.add_row({"surrogate top-1",
+                 util::fmt_pct(accuracy.top1(arch)) + " %"});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_predict(const cli::Args& args) {
+  const predictors::MlpPredictor predictor =
+      io::load_predictor(args.get("predictor", "predictor.json"));
+  const space::Architecture arch =
+      space::Architecture::deserialize(args.get("arch"));
+  std::printf("%.3f %s\n", predictor.predict(arch),
+              predictor.unit().c_str());
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "usage: lightnas <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  devices                                list device profiles\n"
+      "  measure         --device D --metric latency|energy --samples N\n"
+      "                  --out dataset.json\n"
+      "  train-predictor --dataset F --epochs N --unit ms|mJ\n"
+      "                  --out predictor.json\n"
+      "  eval-predictor  --predictor F --dataset F\n"
+      "  search          --predictor F --target T\n"
+      "                  [--predictor2 F --target2 T] [--seed N]\n"
+      "                  --out result.json\n"
+      "  show            --result F | --arch \"0,1,...\" [--device D]\n"
+      "  predict         --predictor F --arch \"0,1,...\"\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      print_usage();
+      return 1;
+    }
+    const std::string command = argv[1];
+    const cli::Args args(argc - 1, argv + 1);
+    if (command == "devices") return cmd_devices();
+    if (command == "measure") return cmd_measure(args);
+    if (command == "train-predictor") return cmd_train_predictor(args);
+    if (command == "eval-predictor") return cmd_eval_predictor(args);
+    if (command == "search") return cmd_search(args);
+    if (command == "show") return cmd_show(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "help" || command == "--help") {
+      print_usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+    print_usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
