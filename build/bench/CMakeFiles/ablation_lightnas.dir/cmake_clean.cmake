@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lightnas.dir/ablation_lightnas.cpp.o"
+  "CMakeFiles/ablation_lightnas.dir/ablation_lightnas.cpp.o.d"
+  "ablation_lightnas"
+  "ablation_lightnas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lightnas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

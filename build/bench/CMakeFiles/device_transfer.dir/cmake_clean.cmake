@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_transfer.dir/device_transfer.cpp.o"
+  "CMakeFiles/device_transfer.dir/device_transfer.cpp.o.d"
+  "device_transfer"
+  "device_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

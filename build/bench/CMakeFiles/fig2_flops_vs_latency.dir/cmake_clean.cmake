@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_flops_vs_latency.dir/fig2_flops_vs_latency.cpp.o"
+  "CMakeFiles/fig2_flops_vs_latency.dir/fig2_flops_vs_latency.cpp.o.d"
+  "fig2_flops_vs_latency"
+  "fig2_flops_vs_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_flops_vs_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lambda_sweep.dir/fig3_lambda_sweep.cpp.o"
+  "CMakeFiles/fig3_lambda_sweep.dir/fig3_lambda_sweep.cpp.o.d"
+  "fig3_lambda_sweep"
+  "fig3_lambda_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lambda_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

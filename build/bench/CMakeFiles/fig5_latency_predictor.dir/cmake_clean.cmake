@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_latency_predictor.dir/fig5_latency_predictor.cpp.o"
+  "CMakeFiles/fig5_latency_predictor.dir/fig5_latency_predictor.cpp.o.d"
+  "fig5_latency_predictor"
+  "fig5_latency_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_latency_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lightnets.dir/fig6_lightnets.cpp.o"
+  "CMakeFiles/fig6_lightnets.dir/fig6_lightnets.cpp.o.d"
+  "fig6_lightnets"
+  "fig6_lightnets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lightnets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

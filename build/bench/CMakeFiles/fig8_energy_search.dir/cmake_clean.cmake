@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_energy_search.dir/fig8_energy_search.cpp.o"
+  "CMakeFiles/fig8_energy_search.dir/fig8_energy_search.cpp.o.d"
+  "fig8_energy_search"
+  "fig8_energy_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_energy_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas_bench_common.dir/common.cpp.o"
+  "CMakeFiles/lightnas_bench_common.dir/common.cpp.o.d"
+  "liblightnas_bench_common.a"
+  "liblightnas_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_constraint.dir/multi_constraint.cpp.o"
+  "CMakeFiles/multi_constraint.dir/multi_constraint.cpp.o.d"
+  "multi_constraint"
+  "multi_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_method_comparison.dir/table1_method_comparison.cpp.o"
+  "CMakeFiles/table1_method_comparison.dir/table1_method_comparison.cpp.o.d"
+  "table1_method_comparison"
+  "table1_method_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_method_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_imagenet.dir/table2_imagenet.cpp.o"
+  "CMakeFiles/table2_imagenet.dir/table2_imagenet.cpp.o.d"
+  "table2_imagenet"
+  "table2_imagenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_imagenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

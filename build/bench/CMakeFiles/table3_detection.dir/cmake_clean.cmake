@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_detection.dir/table3_detection.cpp.o"
+  "CMakeFiles/table3_detection.dir/table3_detection.cpp.o.d"
+  "table3_detection"
+  "table3_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_constrained.dir/energy_constrained.cpp.o"
+  "CMakeFiles/energy_constrained.dir/energy_constrained.cpp.o.d"
+  "energy_constrained"
+  "energy_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

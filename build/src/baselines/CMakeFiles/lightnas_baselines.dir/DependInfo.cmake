@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/evolution.cpp" "src/baselines/CMakeFiles/lightnas_baselines.dir/evolution.cpp.o" "gcc" "src/baselines/CMakeFiles/lightnas_baselines.dir/evolution.cpp.o.d"
+  "/root/repo/src/baselines/fbnet.cpp" "src/baselines/CMakeFiles/lightnas_baselines.dir/fbnet.cpp.o" "gcc" "src/baselines/CMakeFiles/lightnas_baselines.dir/fbnet.cpp.o.d"
+  "/root/repo/src/baselines/proxyless.cpp" "src/baselines/CMakeFiles/lightnas_baselines.dir/proxyless.cpp.o" "gcc" "src/baselines/CMakeFiles/lightnas_baselines.dir/proxyless.cpp.o.d"
+  "/root/repo/src/baselines/random_search.cpp" "src/baselines/CMakeFiles/lightnas_baselines.dir/random_search.cpp.o" "gcc" "src/baselines/CMakeFiles/lightnas_baselines.dir/random_search.cpp.o.d"
+  "/root/repo/src/baselines/rl_search.cpp" "src/baselines/CMakeFiles/lightnas_baselines.dir/rl_search.cpp.o" "gcc" "src/baselines/CMakeFiles/lightnas_baselines.dir/rl_search.cpp.o.d"
+  "/root/repo/src/baselines/scaling.cpp" "src/baselines/CMakeFiles/lightnas_baselines.dir/scaling.cpp.o" "gcc" "src/baselines/CMakeFiles/lightnas_baselines.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lightnas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/lightnas_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/lightnas_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/lightnas_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightnas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lightnas_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

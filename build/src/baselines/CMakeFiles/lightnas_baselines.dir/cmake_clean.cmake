@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas_baselines.dir/evolution.cpp.o"
+  "CMakeFiles/lightnas_baselines.dir/evolution.cpp.o.d"
+  "CMakeFiles/lightnas_baselines.dir/fbnet.cpp.o"
+  "CMakeFiles/lightnas_baselines.dir/fbnet.cpp.o.d"
+  "CMakeFiles/lightnas_baselines.dir/proxyless.cpp.o"
+  "CMakeFiles/lightnas_baselines.dir/proxyless.cpp.o.d"
+  "CMakeFiles/lightnas_baselines.dir/random_search.cpp.o"
+  "CMakeFiles/lightnas_baselines.dir/random_search.cpp.o.d"
+  "CMakeFiles/lightnas_baselines.dir/rl_search.cpp.o"
+  "CMakeFiles/lightnas_baselines.dir/rl_search.cpp.o.d"
+  "CMakeFiles/lightnas_baselines.dir/scaling.cpp.o"
+  "CMakeFiles/lightnas_baselines.dir/scaling.cpp.o.d"
+  "liblightnas_baselines.a"
+  "liblightnas_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas_core.dir/gumbel.cpp.o"
+  "CMakeFiles/lightnas_core.dir/gumbel.cpp.o.d"
+  "CMakeFiles/lightnas_core.dir/lightnas.cpp.o"
+  "CMakeFiles/lightnas_core.dir/lightnas.cpp.o.d"
+  "CMakeFiles/lightnas_core.dir/supernet.cpp.o"
+  "CMakeFiles/lightnas_core.dir/supernet.cpp.o.d"
+  "liblightnas_core.a"
+  "liblightnas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/accuracy_model.cpp" "src/eval/CMakeFiles/lightnas_eval.dir/accuracy_model.cpp.o" "gcc" "src/eval/CMakeFiles/lightnas_eval.dir/accuracy_model.cpp.o.d"
+  "/root/repo/src/eval/detection.cpp" "src/eval/CMakeFiles/lightnas_eval.dir/detection.cpp.o" "gcc" "src/eval/CMakeFiles/lightnas_eval.dir/detection.cpp.o.d"
+  "/root/repo/src/eval/search_cost.cpp" "src/eval/CMakeFiles/lightnas_eval.dir/search_cost.cpp.o" "gcc" "src/eval/CMakeFiles/lightnas_eval.dir/search_cost.cpp.o.d"
+  "/root/repo/src/eval/standalone.cpp" "src/eval/CMakeFiles/lightnas_eval.dir/standalone.cpp.o" "gcc" "src/eval/CMakeFiles/lightnas_eval.dir/standalone.cpp.o.d"
+  "/root/repo/src/eval/zoo.cpp" "src/eval/CMakeFiles/lightnas_eval.dir/zoo.cpp.o" "gcc" "src/eval/CMakeFiles/lightnas_eval.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lightnas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/lightnas_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/lightnas_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightnas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/lightnas_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lightnas_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

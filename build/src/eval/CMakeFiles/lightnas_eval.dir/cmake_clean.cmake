@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas_eval.dir/accuracy_model.cpp.o"
+  "CMakeFiles/lightnas_eval.dir/accuracy_model.cpp.o.d"
+  "CMakeFiles/lightnas_eval.dir/detection.cpp.o"
+  "CMakeFiles/lightnas_eval.dir/detection.cpp.o.d"
+  "CMakeFiles/lightnas_eval.dir/search_cost.cpp.o"
+  "CMakeFiles/lightnas_eval.dir/search_cost.cpp.o.d"
+  "CMakeFiles/lightnas_eval.dir/standalone.cpp.o"
+  "CMakeFiles/lightnas_eval.dir/standalone.cpp.o.d"
+  "CMakeFiles/lightnas_eval.dir/zoo.cpp.o"
+  "CMakeFiles/lightnas_eval.dir/zoo.cpp.o.d"
+  "liblightnas_eval.a"
+  "liblightnas_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

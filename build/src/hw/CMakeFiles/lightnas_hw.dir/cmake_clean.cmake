@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/lightnas_hw.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lightnas_hw.dir/device.cpp.o"
+  "CMakeFiles/lightnas_hw.dir/device.cpp.o.d"
+  "CMakeFiles/lightnas_hw.dir/simulator.cpp.o"
+  "CMakeFiles/lightnas_hw.dir/simulator.cpp.o.d"
+  "liblightnas_hw.a"
+  "liblightnas_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

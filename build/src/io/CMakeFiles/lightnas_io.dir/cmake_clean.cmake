@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas_io.dir/json.cpp.o"
+  "CMakeFiles/lightnas_io.dir/json.cpp.o.d"
+  "CMakeFiles/lightnas_io.dir/serialize.cpp.o"
+  "CMakeFiles/lightnas_io.dir/serialize.cpp.o.d"
+  "liblightnas_io.a"
+  "liblightnas_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

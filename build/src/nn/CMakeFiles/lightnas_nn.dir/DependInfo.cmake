@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/autograd.cpp" "src/nn/CMakeFiles/lightnas_nn.dir/autograd.cpp.o" "gcc" "src/nn/CMakeFiles/lightnas_nn.dir/autograd.cpp.o.d"
+  "/root/repo/src/nn/data.cpp" "src/nn/CMakeFiles/lightnas_nn.dir/data.cpp.o" "gcc" "src/nn/CMakeFiles/lightnas_nn.dir/data.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/lightnas_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/lightnas_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/modules.cpp" "src/nn/CMakeFiles/lightnas_nn.dir/modules.cpp.o" "gcc" "src/nn/CMakeFiles/lightnas_nn.dir/modules.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/lightnas_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/lightnas_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/lightnas_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/lightnas_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/lightnas_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/lightnas_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lightnas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas_nn.dir/autograd.cpp.o"
+  "CMakeFiles/lightnas_nn.dir/autograd.cpp.o.d"
+  "CMakeFiles/lightnas_nn.dir/data.cpp.o"
+  "CMakeFiles/lightnas_nn.dir/data.cpp.o.d"
+  "CMakeFiles/lightnas_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/lightnas_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/lightnas_nn.dir/modules.cpp.o"
+  "CMakeFiles/lightnas_nn.dir/modules.cpp.o.d"
+  "CMakeFiles/lightnas_nn.dir/ops.cpp.o"
+  "CMakeFiles/lightnas_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/lightnas_nn.dir/optim.cpp.o"
+  "CMakeFiles/lightnas_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/lightnas_nn.dir/tensor.cpp.o"
+  "CMakeFiles/lightnas_nn.dir/tensor.cpp.o.d"
+  "liblightnas_nn.a"
+  "liblightnas_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictors/dataset.cpp" "src/predictors/CMakeFiles/lightnas_predictors.dir/dataset.cpp.o" "gcc" "src/predictors/CMakeFiles/lightnas_predictors.dir/dataset.cpp.o.d"
+  "/root/repo/src/predictors/ensemble.cpp" "src/predictors/CMakeFiles/lightnas_predictors.dir/ensemble.cpp.o" "gcc" "src/predictors/CMakeFiles/lightnas_predictors.dir/ensemble.cpp.o.d"
+  "/root/repo/src/predictors/lut_predictor.cpp" "src/predictors/CMakeFiles/lightnas_predictors.dir/lut_predictor.cpp.o" "gcc" "src/predictors/CMakeFiles/lightnas_predictors.dir/lut_predictor.cpp.o.d"
+  "/root/repo/src/predictors/metrics.cpp" "src/predictors/CMakeFiles/lightnas_predictors.dir/metrics.cpp.o" "gcc" "src/predictors/CMakeFiles/lightnas_predictors.dir/metrics.cpp.o.d"
+  "/root/repo/src/predictors/mlp_predictor.cpp" "src/predictors/CMakeFiles/lightnas_predictors.dir/mlp_predictor.cpp.o" "gcc" "src/predictors/CMakeFiles/lightnas_predictors.dir/mlp_predictor.cpp.o.d"
+  "/root/repo/src/predictors/oracle.cpp" "src/predictors/CMakeFiles/lightnas_predictors.dir/oracle.cpp.o" "gcc" "src/predictors/CMakeFiles/lightnas_predictors.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/lightnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/lightnas_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/lightnas_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightnas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

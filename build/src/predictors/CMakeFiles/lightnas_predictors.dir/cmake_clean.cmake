@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas_predictors.dir/dataset.cpp.o"
+  "CMakeFiles/lightnas_predictors.dir/dataset.cpp.o.d"
+  "CMakeFiles/lightnas_predictors.dir/ensemble.cpp.o"
+  "CMakeFiles/lightnas_predictors.dir/ensemble.cpp.o.d"
+  "CMakeFiles/lightnas_predictors.dir/lut_predictor.cpp.o"
+  "CMakeFiles/lightnas_predictors.dir/lut_predictor.cpp.o.d"
+  "CMakeFiles/lightnas_predictors.dir/metrics.cpp.o"
+  "CMakeFiles/lightnas_predictors.dir/metrics.cpp.o.d"
+  "CMakeFiles/lightnas_predictors.dir/mlp_predictor.cpp.o"
+  "CMakeFiles/lightnas_predictors.dir/mlp_predictor.cpp.o.d"
+  "CMakeFiles/lightnas_predictors.dir/oracle.cpp.o"
+  "CMakeFiles/lightnas_predictors.dir/oracle.cpp.o.d"
+  "liblightnas_predictors.a"
+  "liblightnas_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/space/architecture.cpp" "src/space/CMakeFiles/lightnas_space.dir/architecture.cpp.o" "gcc" "src/space/CMakeFiles/lightnas_space.dir/architecture.cpp.o.d"
+  "/root/repo/src/space/flops.cpp" "src/space/CMakeFiles/lightnas_space.dir/flops.cpp.o" "gcc" "src/space/CMakeFiles/lightnas_space.dir/flops.cpp.o.d"
+  "/root/repo/src/space/operator_space.cpp" "src/space/CMakeFiles/lightnas_space.dir/operator_space.cpp.o" "gcc" "src/space/CMakeFiles/lightnas_space.dir/operator_space.cpp.o.d"
+  "/root/repo/src/space/search_space.cpp" "src/space/CMakeFiles/lightnas_space.dir/search_space.cpp.o" "gcc" "src/space/CMakeFiles/lightnas_space.dir/search_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lightnas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

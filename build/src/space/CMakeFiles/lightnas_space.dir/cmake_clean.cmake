@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas_space.dir/architecture.cpp.o"
+  "CMakeFiles/lightnas_space.dir/architecture.cpp.o.d"
+  "CMakeFiles/lightnas_space.dir/flops.cpp.o"
+  "CMakeFiles/lightnas_space.dir/flops.cpp.o.d"
+  "CMakeFiles/lightnas_space.dir/operator_space.cpp.o"
+  "CMakeFiles/lightnas_space.dir/operator_space.cpp.o.d"
+  "CMakeFiles/lightnas_space.dir/search_space.cpp.o"
+  "CMakeFiles/lightnas_space.dir/search_space.cpp.o.d"
+  "liblightnas_space.a"
+  "liblightnas_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

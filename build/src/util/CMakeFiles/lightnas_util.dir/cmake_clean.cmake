@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas_util.dir/csv.cpp.o"
+  "CMakeFiles/lightnas_util.dir/csv.cpp.o.d"
+  "CMakeFiles/lightnas_util.dir/log.cpp.o"
+  "CMakeFiles/lightnas_util.dir/log.cpp.o.d"
+  "CMakeFiles/lightnas_util.dir/plot.cpp.o"
+  "CMakeFiles/lightnas_util.dir/plot.cpp.o.d"
+  "CMakeFiles/lightnas_util.dir/rng.cpp.o"
+  "CMakeFiles/lightnas_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lightnas_util.dir/stats.cpp.o"
+  "CMakeFiles/lightnas_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lightnas_util.dir/table.cpp.o"
+  "CMakeFiles/lightnas_util.dir/table.cpp.o.d"
+  "liblightnas_util.a"
+  "liblightnas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

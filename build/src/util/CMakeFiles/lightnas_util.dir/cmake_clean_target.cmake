@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblightnas_util.a"
+)

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/autograd_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/autograd_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/eval_test.cpp.o.d"
+  "/root/repo/tests/flops_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/flops_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/flops_test.cpp.o.d"
+  "/root/repo/tests/hw_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/hw_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/hw_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/multi_constraint_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/multi_constraint_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/multi_constraint_test.cpp.o.d"
+  "/root/repo/tests/optim_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/optim_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/optim_test.cpp.o.d"
+  "/root/repo/tests/predictors_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/predictors_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/predictors_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/space_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/space_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/space_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/lightnas_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lightnas_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/lightnas_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lightnas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/lightnas_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/lightnas_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/lightnas_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lightnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightnas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

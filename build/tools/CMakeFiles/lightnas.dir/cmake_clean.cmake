@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightnas.dir/lightnas_cli.cpp.o"
+  "CMakeFiles/lightnas.dir/lightnas_cli.cpp.o.d"
+  "lightnas"
+  "lightnas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightnas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
