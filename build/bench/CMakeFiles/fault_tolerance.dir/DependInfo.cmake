@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fault_tolerance.cpp" "bench/CMakeFiles/fault_tolerance.dir/fault_tolerance.cpp.o" "gcc" "bench/CMakeFiles/fault_tolerance.dir/fault_tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lightnas_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lightnas_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/lightnas_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lightnas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/lightnas_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/lightnas_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/lightnas_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lightnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightnas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

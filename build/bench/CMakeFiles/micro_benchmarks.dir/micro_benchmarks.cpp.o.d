@@ -184,8 +184,8 @@ bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/core/gumbel.hpp /root/repo/src/nn/tensor.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/core/supernet.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/array \
+ /root/repo/src/core/supernet.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -219,7 +219,7 @@ bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/space/search_space.hpp \
  /root/repo/src/space/operator_space.hpp /root/repo/src/hw/cost_model.hpp \
  /root/repo/src/hw/device.hpp /root/repo/src/space/architecture.hpp \

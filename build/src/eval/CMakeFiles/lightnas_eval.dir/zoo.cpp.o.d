@@ -148,4 +148,5 @@ src/eval/CMakeFiles/lightnas_eval.dir/zoo.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/rng.hpp
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/array

@@ -126,7 +126,8 @@ src/hw/CMakeFiles/lightnas_hw.dir/simulator.cpp.o: \
  /root/repo/src/space/architecture.hpp \
  /root/repo/src/space/search_space.hpp \
  /root/repo/src/space/operator_space.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/array /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -135,5 +136,7 @@ src/hw/CMakeFiles/lightnas_hw.dir/simulator.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cassert \
- /usr/include/assert.h
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h

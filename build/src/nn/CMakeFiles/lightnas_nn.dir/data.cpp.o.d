@@ -124,8 +124,8 @@ src/nn/CMakeFiles/lightnas_nn.dir/data.cpp.o: /root/repo/src/nn/data.cpp \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -147,4 +147,8 @@ src/nn/CMakeFiles/lightnas_nn.dir/data.cpp.o: /root/repo/src/nn/data.cpp \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

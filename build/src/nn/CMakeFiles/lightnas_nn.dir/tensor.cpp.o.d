@@ -192,4 +192,5 @@ src/nn/CMakeFiles/lightnas_nn.dir/tensor.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.hpp
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/array

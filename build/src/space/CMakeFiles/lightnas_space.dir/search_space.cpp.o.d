@@ -194,4 +194,5 @@ src/space/CMakeFiles/lightnas_space.dir/search_space.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/space/architecture.hpp /root/repo/src/util/rng.hpp
+ /root/repo/src/space/architecture.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/array

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/autograd_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/autograd_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/autograd_test.cpp.o.d"
   "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/checkpoint_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/checkpoint_test.cpp.o.d"
   "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/core_test.cpp.o.d"
   "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/data_test.cpp.o.d"
   "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/eval_test.cpp.o.d"
@@ -21,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/optim_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/optim_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/optim_test.cpp.o.d"
   "/root/repo/tests/predictors_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/predictors_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/predictors_test.cpp.o.d"
   "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/robustness_test.cpp.o.d"
   "/root/repo/tests/space_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/space_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/space_test.cpp.o.d"
   "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/tensor_test.cpp.o.d"
   "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/util_test.cpp.o.d"

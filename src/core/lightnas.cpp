@@ -1,8 +1,11 @@
 #include "core/lightnas.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
 
 #include "nn/ops.hpp"
 #include "nn/optim.hpp"
@@ -20,7 +23,77 @@ nn::VarPtr hard_gate(const nn::VarPtr& soft_prob) {
       nn::ops::sub(soft_prob, nn::ops::detach(soft_prob)), 1.0);
 }
 
+[[noreturn]] void config_error(const std::string& message) {
+  throw std::invalid_argument("LightNasConfig: " + message);
+}
+
+bool tensor_finite(const nn::Tensor& t) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!std::isfinite(t[i])) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+void LightNasConfig::validate() const {
+  if (epochs == 0) config_error("epochs must be > 0");
+  if (warmup_epochs >= epochs) {
+    config_error("warmup_epochs (" + std::to_string(warmup_epochs) +
+                 ") must be < epochs (" + std::to_string(epochs) + ")");
+  }
+  if (w_steps_per_epoch == 0) config_error("w_steps_per_epoch must be > 0");
+  if (alpha_steps_per_epoch == 0) {
+    config_error("alpha_steps_per_epoch must be > 0");
+  }
+  if (batch_size == 0) config_error("batch_size must be > 0");
+  if (!(w_lr > 0.0) || !std::isfinite(w_lr)) {
+    config_error("w_lr must be a positive finite number");
+  }
+  if (!(alpha_lr > 0.0) || !std::isfinite(alpha_lr)) {
+    config_error("alpha_lr must be a positive finite number");
+  }
+  if (!(lambda_lr > 0.0) || !std::isfinite(lambda_lr)) {
+    config_error("lambda_lr must be a positive finite number");
+  }
+  if (!std::isfinite(lambda_init)) config_error("lambda_init must be finite");
+  if (penalty_mu < 0.0 || !std::isfinite(penalty_mu)) {
+    config_error("penalty_mu must be >= 0 and finite");
+  }
+  if (!(tau_final > 0.0) || !(tau_initial >= tau_final)) {
+    config_error("need tau_initial >= tau_final > 0");
+  }
+  if (watchdog.enabled) {
+    if (!(watchdog.lambda_limit > 0.0)) {
+      config_error("watchdog.lambda_limit must be > 0");
+    }
+    if (watchdog.accuracy_collapse_frac < 0.0 ||
+        watchdog.accuracy_collapse_frac >= 1.0) {
+      config_error("watchdog.accuracy_collapse_frac must be in [0, 1)");
+    }
+    if (!(watchdog.cooldown_factor > 0.0) ||
+        watchdog.cooldown_factor > 1.0) {
+      config_error("watchdog.cooldown_factor must be in (0, 1]");
+    }
+  }
+}
+
+std::string RunHealth::summary() const {
+  std::ostringstream out;
+  out << "epochs=" << completed_epochs << " rollbacks=" << rollbacks;
+  if (resumed) out << " resumed_from=" << resumed_from_epoch;
+  if (aborted_early) out << " ABORTED_EARLY";
+  if (interrupted) out << " interrupted";
+  if (measurement_retries > 0 || measurements_rejected > 0) {
+    out << " campaign_retries=" << measurement_retries
+        << " campaign_rejected=" << measurements_rejected;
+  }
+  for (const WatchdogEvent& event : events) {
+    out << " [epoch " << event.epoch << ": " << event.reason
+        << (event.rolled_back ? " -> rollback" : " -> abort") << "]";
+  }
+  return out.str();
+}
 
 LightNas::LightNas(const space::SearchSpace& space,
                    const predictors::HardwarePredictor& predictor,
@@ -40,15 +113,29 @@ LightNas::LightNas(const space::SearchSpace& space,
       task_(&task),
       supernet_config_(supernet),
       config_(config) {
-  assert(!constraints_.empty());
-  for (const Constraint& constraint : constraints_) {
-    assert(constraint.predictor != nullptr);
-    assert(constraint.target > 0.0);
+  config_.validate();
+  if (constraints_.empty()) {
+    throw std::invalid_argument("LightNas: need at least one constraint");
   }
-  assert(config.warmup_epochs < config.epochs);
+  for (std::size_t c = 0; c < constraints_.size(); ++c) {
+    if (constraints_[c].predictor == nullptr) {
+      throw std::invalid_argument("LightNas: constraint " +
+                                  std::to_string(c) +
+                                  " has a null predictor");
+    }
+    if (!(constraints_[c].target > 0.0) ||
+        !std::isfinite(constraints_[c].target)) {
+      throw std::invalid_argument(
+          "LightNas: constraint " + std::to_string(c) + " target " +
+          std::to_string(constraints_[c].target) +
+          " must be a positive finite number");
+    }
+  }
 }
 
-SearchResult LightNas::search() {
+SearchResult LightNas::search() { return search(SearchHooks{}); }
+
+SearchResult LightNas::search(const SearchHooks& hooks) {
   const std::size_t num_layers = space_->num_layers();
   const std::size_t num_ops = space_->num_ops();
   const std::size_t num_constraints = constraints_.size();
@@ -70,14 +157,15 @@ SearchResult LightNas::search() {
                                            task_->train.labels.begin(),
                                            task_->train.labels.end()),
                              supernet_config);
+  const std::vector<nn::VarPtr> weight_params = supernet.weight_parameters();
 
   // Architecture parameters: one row per *searchable* layer (Sec 3.1:
   // the first layer is fixed).
   nn::VarPtr alpha =
       nn::make_leaf(nn::Tensor::zeros(num_searchable, num_ops), "alpha");
 
-  nn::Sgd w_optimizer(supernet.weight_parameters(), config_.w_lr,
-                      config_.w_momentum, config_.w_weight_decay,
+  nn::Sgd w_optimizer(weight_params, config_.w_lr, config_.w_momentum,
+                      config_.w_weight_decay,
                       /*clip_norm=*/5.0);
   const nn::CosineSchedule w_schedule(config_.w_lr,
                                       config_.epochs *
@@ -94,6 +182,118 @@ SearchResult LightNas::search() {
   nn::Batcher train_batches(task_->train, config_.batch_size, data_rng);
   util::Rng valid_rng = rng.fork();
   nn::Batcher valid_batches(task_->valid, config_.batch_size, valid_rng);
+
+  SearchResult result;
+  std::size_t w_step_counter = 0;
+  // Watchdog cooldown state: rollbacks shrink the alpha/lambda step
+  // sizes by cooldown_factor and can hold tau above its schedule for a
+  // few epochs (tau_floor decays back towards zero).
+  double cooldown_scale = 1.0;
+  double tau_floor = 0.0;
+
+  // --- checkpoint capture / restore -----------------------------------
+  // The same snapshot structure backs on-disk checkpoints and the
+  // watchdog's in-memory rollback point, so restore is exercised on
+  // healthy runs too.
+  auto capture = [&](std::size_t next_epoch) {
+    SearchCheckpoint ck;
+    ck.seed = config_.seed;
+    ck.total_epochs = config_.epochs;
+    for (const Constraint& constraint : constraints_) {
+      ck.targets.push_back(constraint.target);
+    }
+    ck.next_epoch = next_epoch;
+    ck.w_step_counter = w_step_counter;
+    ck.alpha = alpha->value;
+    ck.supernet_weights.reserve(weight_params.size());
+    for (const nn::VarPtr& p : weight_params) {
+      ck.supernet_weights.push_back(p->value);
+    }
+    ck.w_velocity = w_optimizer.export_state().velocity;
+    nn::Adam::State adam = alpha_optimizer.export_state();
+    ck.adam_m = std::move(adam.m);
+    ck.adam_v = std::move(adam.v);
+    ck.adam_t = adam.t;
+    for (const nn::LambdaAscent& l : lambdas) {
+      ck.lambdas.push_back(l.value());
+    }
+    ck.cooldown_scale = cooldown_scale;
+    ck.tau_floor = tau_floor;
+    ck.rng = rng.state();
+    ck.data_rng = data_rng.state();
+    ck.valid_rng = valid_rng.state();
+    ck.train_batcher = train_batches.export_state();
+    ck.valid_batcher = valid_batches.export_state();
+    ck.trace = result.trace;
+    ck.weight_updates = result.weight_updates;
+    ck.alpha_updates = result.alpha_updates;
+    ck.health = result.health;
+    return ck;
+  };
+
+  auto restore = [&](const SearchCheckpoint& ck) {
+    if (ck.seed != config_.seed || ck.total_epochs != config_.epochs) {
+      throw std::invalid_argument(
+          "SearchCheckpoint: run fingerprint (seed/epochs) does not match "
+          "this engine's configuration");
+    }
+    if (ck.targets.size() != num_constraints) {
+      throw std::invalid_argument(
+          "SearchCheckpoint: constraint count mismatch");
+    }
+    for (std::size_t c = 0; c < num_constraints; ++c) {
+      if (ck.targets[c] != constraints_[c].target) {
+        throw std::invalid_argument(
+            "SearchCheckpoint: constraint target mismatch");
+      }
+    }
+    if (!ck.alpha.same_shape(alpha->value)) {
+      throw std::invalid_argument(
+          "SearchCheckpoint: alpha shape does not match the search space");
+    }
+    if (ck.supernet_weights.size() != weight_params.size()) {
+      throw std::invalid_argument(
+          "SearchCheckpoint: supernet parameter count mismatch");
+    }
+    for (std::size_t i = 0; i < weight_params.size(); ++i) {
+      if (!ck.supernet_weights[i].same_shape(weight_params[i]->value)) {
+        throw std::invalid_argument(
+            "SearchCheckpoint: supernet tensor shape mismatch");
+      }
+      weight_params[i]->value = ck.supernet_weights[i];
+    }
+    alpha->value = ck.alpha;
+    w_optimizer.restore_state({ck.w_velocity});
+    alpha_optimizer.restore_state({ck.adam_m, ck.adam_v, ck.adam_t});
+    if (ck.lambdas.size() != num_constraints) {
+      throw std::invalid_argument("SearchCheckpoint: lambda count mismatch");
+    }
+    cooldown_scale = ck.cooldown_scale;
+    tau_floor = ck.tau_floor;
+    alpha_optimizer.set_lr(config_.alpha_lr * cooldown_scale);
+    for (std::size_t c = 0; c < num_constraints; ++c) {
+      lambdas[c].reset(ck.lambdas[c]);
+      lambdas[c].set_lr(config_.lambda_lr * cooldown_scale);
+    }
+    rng.set_state(ck.rng);
+    data_rng.set_state(ck.data_rng);
+    valid_rng.set_state(ck.valid_rng);
+    train_batches.restore_state(ck.train_batcher);
+    valid_batches.restore_state(ck.valid_batcher);
+    result.trace = ck.trace;
+    result.weight_updates = ck.weight_updates;
+    result.alpha_updates = ck.alpha_updates;
+    result.health = ck.health;
+    w_step_counter = ck.w_step_counter;
+  };
+
+  std::size_t start_epoch = 0;
+  if (hooks.resume != nullptr) {
+    restore(*hooks.resume);
+    start_epoch = hooks.resume->next_epoch;
+    result.health.resumed = true;
+    result.health.resumed_from_epoch = start_epoch;
+  }
 
   // Derive the stand-alone architecture: strongest operator per layer
   // (Sec 2.1), fixed layers keep their fixed op.
@@ -125,11 +325,18 @@ SearchResult LightNas::search() {
                             num_layers * num_ops);
   };
 
-  SearchResult result;
-  std::size_t w_step_counter = 0;
+  // The watchdog's in-memory rollback point: the end of the last healthy
+  // epoch. Seeded from the resume snapshot when there is one.
+  std::optional<SearchCheckpoint> last_good;
+  if (hooks.resume != nullptr) last_good = *hooks.resume;
+  double best_accuracy = 0.0;
+  for (const SearchEpochStats& stats : result.trace) {
+    best_accuracy = std::max(best_accuracy, stats.valid_accuracy);
+  }
 
-  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    const double tau = tau_schedule.at(epoch);
+  std::size_t epoch = start_epoch;
+  while (epoch < config_.epochs) {
+    const double tau = std::max(tau_schedule.at(epoch), tau_floor);
     double sampled_cost_sum = 0.0;
     std::size_t sampled_cost_count = 0;
 
@@ -217,7 +424,7 @@ SearchResult LightNas::search() {
         // cleared without being applied (bi-level: alpha-only update).
         nn::backward(loss);
         alpha_optimizer.step();
-        for (const nn::VarPtr& param : supernet.weight_parameters()) {
+        for (const nn::VarPtr& param : weight_params) {
           param->zero_grad();
         }
 
@@ -226,9 +433,9 @@ SearchResult LightNas::search() {
         // is the argmax one of Eq (4) — NOT the Gumbel-sampled path,
         // whose cost is a noisy draw centred on the distribution rather
         // than on the encoding.
-        const space::Architecture derived = derive();
+        const space::Architecture derived_arch = derive();
         for (std::size_t c = 0; c < num_constraints; ++c) {
-          lambdas[c].step(constraints_[c].predictor->predict(derived) /
+          lambdas[c].step(constraints_[c].predictor->predict(derived_arch) /
                               constraints_[c].target -
                           1.0);
         }
@@ -268,7 +475,94 @@ SearchResult LightNas::search() {
                        << constraints_.front().target << ") valid_acc="
                        << stats.valid_accuracy;
     }
+
+    // ---- divergence watchdog -------------------------------------------
+    std::string unhealthy;
+    if (config_.watchdog.enabled) {
+      if (!std::isfinite(stats.valid_loss)) {
+        unhealthy = "non-finite validation loss";
+      } else if (!tensor_finite(alpha->value)) {
+        unhealthy = "non-finite alpha";
+      } else {
+        for (std::size_t c = 0; c < num_constraints && unhealthy.empty();
+             ++c) {
+          if (!std::isfinite(stats.lambdas[c]) ||
+              std::abs(stats.lambdas[c]) >
+                  config_.watchdog.lambda_limit) {
+            unhealthy = "runaway lambda (constraint " + std::to_string(c) +
+                        ", value " + std::to_string(stats.lambdas[c]) + ")";
+          } else if (!std::isfinite(stats.predicted_costs[c])) {
+            unhealthy = "non-finite predicted cost (constraint " +
+                        std::to_string(c) + ")";
+          }
+        }
+        if (unhealthy.empty() &&
+            best_accuracy >= config_.watchdog.min_reference_accuracy &&
+            stats.valid_accuracy <
+                config_.watchdog.accuracy_collapse_frac * best_accuracy) {
+          unhealthy = "accuracy collapse (" +
+                      std::to_string(stats.valid_accuracy) + " vs best " +
+                      std::to_string(best_accuracy) + ")";
+        }
+      }
+    }
+
+    if (!unhealthy.empty()) {
+      WatchdogEvent event;
+      event.epoch = epoch;
+      event.reason = unhealthy;
+      event.rolled_back = result.health.rollbacks <
+                              config_.watchdog.max_rollbacks &&
+                          last_good.has_value();
+      if (config_.log_progress) {
+        util::log_info() << "watchdog: " << unhealthy << " at epoch "
+                         << epoch
+                         << (event.rolled_back ? " -> rolling back"
+                                               : " -> aborting");
+      }
+      if (!event.rolled_back) {
+        result.health.events.push_back(std::move(event));
+        result.health.aborted_early = true;
+        break;
+      }
+      // Roll back to the last healthy epoch, keeping the health record
+      // accumulated so far, and retry with cooled-down step sizes.
+      RunHealth health = result.health;
+      health.events.push_back(std::move(event));
+      ++health.rollbacks;
+      restore(*last_good);
+      result.health = std::move(health);
+      cooldown_scale *= config_.watchdog.cooldown_factor;
+      alpha_optimizer.set_lr(config_.alpha_lr * cooldown_scale);
+      for (nn::LambdaAscent& l : lambdas) {
+        l.set_lr(config_.lambda_lr * cooldown_scale);
+      }
+      // Hold the temperature near its value at the rollback point so the
+      // retry explores more softly; the floor decays on healthy epochs.
+      tau_floor = std::max(tau_floor, tau_schedule.at(epoch));
+      epoch = last_good->next_epoch;
+      continue;
+    }
+
     result.trace.push_back(std::move(stats));
+    best_accuracy =
+        std::max(best_accuracy, result.trace.back().valid_accuracy);
+    tau_floor *= 0.8;
+    if (tau_floor < config_.tau_final) tau_floor = 0.0;
+    ++epoch;
+    result.health.completed_epochs = result.trace.size();
+    last_good = capture(epoch);
+
+    if (hooks.on_checkpoint &&
+        (epoch % std::max<std::size_t>(1, hooks.checkpoint_every) == 0 ||
+         epoch == config_.epochs)) {
+      hooks.on_checkpoint(*last_good);
+    }
+    if (hooks.should_stop && epoch < config_.epochs &&
+        hooks.should_stop(epoch)) {
+      result.health.interrupted = true;
+      break;
+    }
   }
 
   // Worst-case relative constraint gap of an epoch snapshot.
@@ -293,6 +587,12 @@ SearchResult LightNas::search() {
           result.architecture));
     }
     double best_gap = gap_of(final_costs);
+    // An aborted run's live alpha may be the diverged state itself;
+    // never let it win over the trace in that case.
+    if (result.health.aborted_early) {
+      best_gap = std::numeric_limits<double>::infinity();
+      result.architecture = result.trace.back().derived;
+    }
     for (std::size_t i = window_start; i < result.trace.size(); ++i) {
       const double gap = gap_of(result.trace[i].predicted_costs);
       if (gap < best_gap) {
@@ -301,10 +601,18 @@ SearchResult LightNas::search() {
       }
     }
   }
+  result.health.completed_epochs = result.trace.size();
   for (std::size_t c = 0; c < num_constraints; ++c) {
     result.final_costs.push_back(
         constraints_[c].predictor->predict(result.architecture));
-    result.final_lambdas.push_back(lambdas[c].value());
+    // An aborted run's live multiplier IS the diverged (possibly
+    // non-finite) state; report the last healthy epoch's value instead,
+    // matching the trace-sourced architecture above.
+    if (result.health.aborted_early && !result.trace.empty()) {
+      result.final_lambdas.push_back(result.trace.back().lambdas[c]);
+    } else {
+      result.final_lambdas.push_back(lambdas[c].value());
+    }
   }
   result.final_predicted_cost = result.final_costs.front();
   result.final_lambda = result.final_lambdas.front();

@@ -1,16 +1,44 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "core/gumbel.hpp"
 #include "core/supernet.hpp"
 #include "nn/data.hpp"
+#include "nn/tensor.hpp"
 #include "predictors/predictor.hpp"
 #include "space/architecture.hpp"
 #include "space/search_space.hpp"
+#include "util/rng.hpp"
 
 namespace lightnas::core {
+
+/// Divergence-watchdog policy. Differentiable searches fail late and
+/// loudly — non-finite losses, a runaway multiplier, or the accuracy
+/// collapse of the DARTS failure mode — and a single long "search once"
+/// run cannot afford to lose its budget to one bad epoch. The watchdog
+/// rolls the run back to the last healthy epoch snapshot and retries
+/// with cooled-down step sizes, up to a bounded budget.
+struct WatchdogConfig {
+  bool enabled = true;
+  /// |lambda| beyond this is treated as integrator runaway. Healthy runs
+  /// settle at single-digit magnitudes (Fig. 7), so the default is far
+  /// outside normal operation.
+  double lambda_limit = 75.0;
+  /// Trigger when validation accuracy falls below this fraction of the
+  /// best accuracy seen so far ...
+  double accuracy_collapse_frac = 0.25;
+  /// ... but only once the best accuracy is itself meaningful.
+  double min_reference_accuracy = 0.30;
+  /// Rollback retry budget for the whole run; when exhausted the search
+  /// stops early and returns the best snapshot from the trace.
+  std::size_t max_rollbacks = 3;
+  /// Each rollback multiplies the alpha / lambda step sizes by this.
+  double cooldown_factor = 0.5;
+};
 
 /// Hyper-parameters of one LightNAS run (Sec 4.1 "Architecture Search
 /// Settings", scaled to the surrogate substrate; the paper's values are
@@ -68,6 +96,12 @@ struct LightNasConfig {
 
   std::uint64_t seed = 0;
   bool log_progress = false;
+
+  WatchdogConfig watchdog;
+
+  /// Throws std::invalid_argument with a descriptive message when any
+  /// field is out of range. Called by the LightNas constructor.
+  void validate() const;
 };
 
 /// One hardware constraint: drive `predictor`'s estimate of the derived
@@ -97,6 +131,36 @@ struct SearchEpochStats {
   space::Architecture derived;
 };
 
+/// One watchdog intervention, kept in the run-health record.
+struct WatchdogEvent {
+  std::size_t epoch = 0;
+  std::string reason;
+  /// True when the run was rolled back; false when the retry budget was
+  /// already spent and the search aborted instead.
+  bool rolled_back = false;
+};
+
+/// Run-health telemetry: what a production operator needs to judge
+/// whether a finished run is trustworthy. The measurement counters
+/// describe the campaign that produced the predictor (the search itself
+/// performs no measurements) and are filled in by the pipeline driver.
+struct RunHealth {
+  std::size_t rollbacks = 0;
+  std::vector<WatchdogEvent> events;
+  /// Watchdog retry budget exhausted; result is best-so-far.
+  bool aborted_early = false;
+  /// Stopped by SearchHooks::should_stop (e.g. a simulated kill).
+  bool interrupted = false;
+  bool resumed = false;
+  std::size_t resumed_from_epoch = 0;
+  std::size_t completed_epochs = 0;
+  /// Campaign-side counters (see predictors::CampaignReport).
+  std::size_t measurement_retries = 0;
+  std::size_t measurements_rejected = 0;
+
+  std::string summary() const;
+};
+
 struct SearchResult {
   space::Architecture architecture;
   std::vector<SearchEpochStats> trace;
@@ -106,6 +170,61 @@ struct SearchResult {
   std::vector<double> final_lambdas;
   std::size_t weight_updates = 0;
   std::size_t alpha_updates = 0;
+  RunHealth health;
+};
+
+/// Complete serializable snapshot of a running search: restoring it and
+/// continuing reproduces the uninterrupted run bit-for-bit (same floats,
+/// same RNG streams, same batch order). The same structure backs both
+/// the on-disk checkpoint (io::save_checkpoint) and the watchdog's
+/// in-memory rollback snapshots, so the restore path is exercised on
+/// every run, not only after a crash.
+struct SearchCheckpoint {
+  // --- fingerprint of the run this snapshot belongs to ----------------
+  std::uint64_t seed = 0;
+  std::size_t total_epochs = 0;
+  std::vector<double> targets;  ///< one per constraint
+
+  // --- position ---------------------------------------------------------
+  std::size_t next_epoch = 0;
+  std::size_t w_step_counter = 0;
+
+  // --- learnable state -------------------------------------------------
+  nn::Tensor alpha;
+  std::vector<nn::Tensor> supernet_weights;
+  std::vector<nn::Tensor> w_velocity;            ///< SGD momentum buffers
+  std::vector<nn::Tensor> adam_m, adam_v;        ///< Adam moments (alpha)
+  std::size_t adam_t = 0;
+  std::vector<double> lambdas;
+
+  // --- watchdog / cooldown state ---------------------------------------
+  double cooldown_scale = 1.0;
+  double tau_floor = 0.0;
+
+  // --- RNG and data-order state ----------------------------------------
+  util::RngState rng, data_rng, valid_rng;
+  nn::Batcher::State train_batcher, valid_batcher;
+
+  // --- accumulated outputs ---------------------------------------------
+  std::vector<SearchEpochStats> trace;
+  std::size_t weight_updates = 0;
+  std::size_t alpha_updates = 0;
+  RunHealth health;
+};
+
+/// Runtime hooks for fault tolerance. The engine stays free of file I/O:
+/// the caller (CLI / bench) decides where checkpoints go.
+struct SearchHooks {
+  /// Invoked after every `checkpoint_every`-th completed epoch (and the
+  /// final one) with a full snapshot.
+  std::function<void(const SearchCheckpoint&)> on_checkpoint;
+  std::size_t checkpoint_every = 1;
+  /// Polled after each completed epoch; returning true stops the run
+  /// (health.interrupted is set) — the test harness's simulated kill.
+  std::function<bool(std::size_t completed_epochs)> should_stop;
+  /// Resume from this snapshot instead of starting fresh. The snapshot's
+  /// fingerprint must match the engine's configuration.
+  const SearchCheckpoint* resume = nullptr;
 };
 
 /// The LightNAS engine (Sec 3): single-path differentiable search with a
@@ -136,6 +255,9 @@ class LightNas {
            const LightNasConfig& config);
 
   SearchResult search();
+  /// Fault-tolerant entry point: checkpoint emission, simulated
+  /// interruption, and resume all flow through the hooks.
+  SearchResult search(const SearchHooks& hooks);
 
   const LightNasConfig& config() const { return config_; }
   std::size_t num_constraints() const { return constraints_.size(); }

@@ -1,26 +1,69 @@
 #include "hw/simulator.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
 
 namespace lightnas::hw {
+
+const char* to_string(MeasurementStatus status) {
+  switch (status) {
+    case MeasurementStatus::kOk: return "ok";
+    case MeasurementStatus::kTransientFailure: return "transient_failure";
+    case MeasurementStatus::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
 
 HardwareSimulator::HardwareSimulator(DeviceProfile profile,
                                      std::size_t batch_size,
                                      std::uint64_t seed)
     : model_(std::move(profile), batch_size), rng_(seed) {}
 
+double HardwareSimulator::apply_value_faults(double clean_value) {
+  if (!faults_.enabled()) return clean_value;
+  double value = clean_value;
+  if (faults_.drift_per_measurement > 0.0) {
+    drift_state_ += rng_.normal(0.0, faults_.drift_per_measurement);
+    drift_state_ = std::clamp(drift_state_, 1.0 - faults_.drift_max_frac,
+                              1.0 + faults_.drift_max_frac);
+    value *= drift_state_;
+  }
+  if (faults_.outlier_prob > 0.0 && rng_.bernoulli(faults_.outlier_prob)) {
+    value *= rng_.uniform(faults_.outlier_scale_lo,
+                          faults_.outlier_scale_hi);
+  }
+  return value;
+}
+
+Measurement HardwareSimulator::apply_faults(double clean_value) {
+  if (faults_.enabled()) {
+    if (faults_.transient_failure_prob > 0.0 &&
+        rng_.bernoulli(faults_.transient_failure_prob)) {
+      return {MeasurementStatus::kTransientFailure, 0.0};
+    }
+    if (faults_.hang_prob > 0.0 && rng_.bernoulli(faults_.hang_prob)) {
+      return {MeasurementStatus::kTimeout, 0.0};
+    }
+  }
+  return {MeasurementStatus::kOk, apply_value_faults(clean_value)};
+}
+
 double HardwareSimulator::measure_latency_ms(
     const space::SearchSpace& space, const space::Architecture& arch) {
   const double truth = model_.network_latency_ms(space, arch);
-  return std::max(0.0,
-                  truth + rng_.normal(0.0, profile().latency_noise_ms));
+  return apply_value_faults(
+      std::max(0.0, truth + rng_.normal(0.0, profile().latency_noise_ms)));
 }
 
 double HardwareSimulator::measure_latency_ms(
     const space::SearchSpace& space, const space::Architecture& arch,
     std::size_t repeats) {
-  assert(repeats > 0);
+  if (repeats == 0) {
+    // An assert here vanishes in NDEBUG builds and the division below
+    // silently returns NaN into the measurement dataset.
+    throw std::invalid_argument(
+        "HardwareSimulator::measure_latency_ms: repeats must be > 0");
+  }
   double total = 0.0;
   for (std::size_t i = 0; i < repeats; ++i) {
     total += measure_latency_ms(space, arch);
@@ -37,7 +80,26 @@ double HardwareSimulator::measure_energy_mj(
   const double truth = model_.network_energy_mj(space, arch);
   const double relative_noise =
       rng_.normal(0.0, profile().energy_noise_frac);
-  return std::max(0.0, truth * thermal_state_ * (1.0 + relative_noise));
+  return apply_value_faults(
+      std::max(0.0, truth * thermal_state_ * (1.0 + relative_noise)));
+}
+
+Measurement HardwareSimulator::try_measure_latency_ms(
+    const space::SearchSpace& space, const space::Architecture& arch) {
+  const double truth = model_.network_latency_ms(space, arch);
+  return apply_faults(
+      std::max(0.0, truth + rng_.normal(0.0, profile().latency_noise_ms)));
+}
+
+Measurement HardwareSimulator::try_measure_energy_mj(
+    const space::SearchSpace& space, const space::Architecture& arch) {
+  thermal_state_ += rng_.normal(0.0, 0.004);
+  thermal_state_ = std::clamp(thermal_state_, 0.97, 1.05);
+  const double truth = model_.network_energy_mj(space, arch);
+  const double relative_noise =
+      rng_.normal(0.0, profile().energy_noise_frac);
+  return apply_faults(
+      std::max(0.0, truth * thermal_state_ * (1.0 + relative_noise)));
 }
 
 double HardwareSimulator::measure_isolated_op_ms(

@@ -7,11 +7,68 @@
 
 namespace lightnas::hw {
 
+/// Adversarial imperfections of a real profiling campaign, injected on
+/// top of the simulator's baseline jitter/thermal noise. Every robustness
+/// mechanism in the repo (retry, outlier rejection, watchdog) is
+/// exercised against this spec rather than against hand-crafted unit
+/// fixtures — the same substitution philosophy as the cost model itself.
+///
+/// All probabilities default to zero, so a default-constructed spec is a
+/// no-op and the simulator behaves exactly as before.
+struct FaultSpec {
+  /// Probability that a measurement is an outlier spike (background
+  /// interference: another process grabbing the GPU, a DVFS transition).
+  /// The spike multiplies the true value by uniform(outlier_scale_lo,
+  /// outlier_scale_hi).
+  double outlier_prob = 0.0;
+  double outlier_scale_lo = 2.0;
+  double outlier_scale_hi = 8.0;
+
+  /// Probability that a measurement fails transiently (profiler hiccup,
+  /// lost serial line) — no value is produced; callers should retry.
+  double transient_failure_prob = 0.0;
+
+  /// Probability that a measurement hangs until the campaign's timeout
+  /// fires — no value is produced, but the attempt cost is much higher
+  /// than a plain failure (tracked by the campaign report).
+  double hang_prob = 0.0;
+
+  /// Per-measurement multiplicative calibration drift (random walk step
+  /// stddev, relative). Models a power sensor or timer slowly drifting
+  /// out of calibration between recalibrations; bounded at +/-
+  /// drift_max_frac.
+  double drift_per_measurement = 0.0;
+  double drift_max_frac = 0.05;
+
+  bool enabled() const {
+    return outlier_prob > 0.0 || transient_failure_prob > 0.0 ||
+           hang_prob > 0.0 || drift_per_measurement > 0.0;
+  }
+};
+
+/// Outcome of a single fault-aware measurement attempt.
+enum class MeasurementStatus {
+  kOk,
+  kTransientFailure,  ///< no value; retry is cheap
+  kTimeout,           ///< no value; the attempt burned the full timeout
+};
+
+struct Measurement {
+  MeasurementStatus status = MeasurementStatus::kOk;
+  double value = 0.0;
+
+  bool ok() const { return status == MeasurementStatus::kOk; }
+};
+
+const char* to_string(MeasurementStatus status);
+
 /// The "device on the bench": wraps the deterministic CostModel with the
 /// measurement imperfections a real profiling campaign sees — repeat
-/// jitter on latency and slow thermal drift on energy (the paper calls
-/// the latter out explicitly in Sec 4.3). All predictor training data is
-/// drawn through this class, never from the noise-free model, so the
+/// jitter on latency, slow thermal drift on energy (the paper calls the
+/// latter out explicitly in Sec 4.3), and, when a FaultSpec is installed,
+/// the outliers / transient failures / hangs / calibration drift that
+/// real 10k-sample campaigns routinely hit. All predictor training data
+/// is drawn through this class, never from the noise-free model, so the
 /// predictors are evaluated under realistic conditions.
 class HardwareSimulator {
  public:
@@ -21,11 +78,24 @@ class HardwareSimulator {
   const CostModel& model() const { return model_; }
   const DeviceProfile& profile() const { return model_.profile(); }
 
-  /// One noisy end-to-end latency measurement, in milliseconds.
+  /// Install (or clear, with a default-constructed spec) the fault model.
+  void set_fault_spec(const FaultSpec& spec) { faults_ = spec; }
+  const FaultSpec& fault_spec() const { return faults_; }
+
+  /// Reset the calibration-drift state, as a real campaign's periodic
+  /// recalibration pass would.
+  void recalibrate() { drift_state_ = 1.0; }
+  /// Current multiplicative calibration error (1.0 = calibrated).
+  double drift_state() const { return drift_state_; }
+
+  /// One noisy end-to-end latency measurement, in milliseconds. Injects
+  /// outlier spikes and calibration drift when a fault spec is installed,
+  /// but always produces a value (the pre-fault-model API).
   double measure_latency_ms(const space::SearchSpace& space,
                             const space::Architecture& arch);
 
   /// Mean of `repeats` measurements (standard profiling practice).
+  /// Throws std::invalid_argument when repeats == 0.
   double measure_latency_ms(const space::SearchSpace& space,
                             const space::Architecture& arch,
                             std::size_t repeats);
@@ -35,15 +105,29 @@ class HardwareSimulator {
   double measure_energy_mj(const space::SearchSpace& space,
                            const space::Architecture& arch);
 
+  /// Fault-aware measurement attempts: may report a transient failure or
+  /// a timeout instead of a value. Robust campaigns go through these.
+  Measurement try_measure_latency_ms(const space::SearchSpace& space,
+                                     const space::Architecture& arch);
+  Measurement try_measure_energy_mj(const space::SearchSpace& space,
+                                    const space::Architecture& arch);
+
   /// Noisy isolated per-operator measurement (lookup-table construction).
   double measure_isolated_op_ms(const space::LayerSpec& layer,
                                 const space::Operator& op,
                                 bool with_se = false);
 
  private:
+  /// Roll failure/timeout dice; advance drift; apply outlier scaling.
+  Measurement apply_faults(double clean_value);
+  /// Outlier + drift only — for the always-a-value legacy API.
+  double apply_value_faults(double clean_value);
+
   CostModel model_;
   util::Rng rng_;
+  FaultSpec faults_;
   double thermal_state_ = 1.0;
+  double drift_state_ = 1.0;
 };
 
 }  // namespace lightnas::hw

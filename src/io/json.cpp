@@ -4,7 +4,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -110,14 +112,23 @@ void dump_string(const std::string& s, std::string& out) {
 }
 
 void dump_number(double v, std::string& out) {
-  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+  // JSON has no literal for NaN/inf; "%g" would emit "nan"/"inf", which
+  // our own parser (and every other one) rejects. Emit null instead;
+  // readers map null back to NaN (Json::number_or_nan, to_doubles).
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.0f", v);
     out += buf;
     return;
   }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // 17 significant digits round-trip any IEEE double exactly — required
+  // for bit-for-bit checkpoint restore (lambda, RNG-derived doubles).
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
   out += buf;
 }
 
@@ -351,10 +362,17 @@ Json Json::from_floats(const std::vector<float>& values) {
   return arr;
 }
 
+double Json::number_or_nan() const {
+  if (type_ == Type::kNull) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return as_number();
+}
+
 std::vector<double> Json::to_doubles() const {
   std::vector<double> out;
   out.reserve(as_array().size());
-  for (const Json& v : as_array()) out.push_back(v.as_number());
+  for (const Json& v : as_array()) out.push_back(v.number_or_nan());
   return out;
 }
 
@@ -362,7 +380,7 @@ std::vector<float> Json::to_floats() const {
   std::vector<float> out;
   out.reserve(as_array().size());
   for (const Json& v : as_array()) {
-    out.push_back(static_cast<float>(v.as_number()));
+    out.push_back(static_cast<float>(v.number_or_nan()));
   }
   return out;
 }
@@ -372,6 +390,25 @@ void write_json_file(const std::string& path, const Json& value) {
   if (!out) throw std::runtime_error("cannot open for write: " + path);
   out << value.dump();
   if (!out.good()) throw std::runtime_error("write failed: " + path);
+}
+
+void write_json_file_atomic(const std::string& path, const Json& value) {
+  // Write-temp-then-rename so a crash mid-write never leaves a torn
+  // artifact at `path` — essential for checkpoints a resume depends on.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open for write: " + tmp);
+    out << value.dump();
+    out.flush();
+    if (!out.good()) throw std::runtime_error("write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("atomic rename failed for: " + path);
+  }
 }
 
 Json read_json_file(const std::string& path) {

@@ -33,6 +33,9 @@ class Json {
   // --- accessors (assert on type mismatch) ---------------------------
   bool as_bool() const;
   double as_number() const;
+  /// Like as_number(), but maps null to NaN — the reader-side half of
+  /// the "non-finite doubles serialize as null" convention.
+  double number_or_nan() const;
   const std::string& as_string() const;
   const std::vector<Json>& as_array() const;
   const std::map<std::string, Json>& as_object() const;
@@ -68,6 +71,9 @@ class Json {
 
 /// Whole-file helpers; throw std::runtime_error on I/O failure.
 void write_json_file(const std::string& path, const Json& value);
+/// Crash-safe variant: writes `path + ".tmp"` then renames over `path`,
+/// so readers never observe a torn file. Used for checkpoints.
+void write_json_file_atomic(const std::string& path, const Json& value);
 Json read_json_file(const std::string& path);
 
 }  // namespace lightnas::io

@@ -1,5 +1,7 @@
 #include "io/serialize.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace lightnas::io {
@@ -15,6 +17,180 @@ void check_header(const Json& json, const std::string& kind) {
   if (static_cast<int>(json.at("version").as_number()) != kFormatVersion) {
     throw std::runtime_error("unsupported '" + kind + "' format version");
   }
+}
+
+// uint64 does not fit a double exactly; RNG words round-trip as hex.
+Json u64_to_json(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return Json(std::string(buf));
+}
+
+std::uint64_t u64_from_json(const Json& json) {
+  return static_cast<std::uint64_t>(
+      std::strtoull(json.as_string().c_str(), nullptr, 16));
+}
+
+Json tensor_to_json(const nn::Tensor& t) {
+  Json json = Json::object();
+  json.set("rows", Json(t.rows()));
+  json.set("cols", Json(t.cols()));
+  json.set("data", Json::from_floats(t.data()));
+  return json;
+}
+
+nn::Tensor tensor_from_json(const Json& json) {
+  const auto rows = static_cast<std::size_t>(json.at("rows").as_number());
+  const auto cols = static_cast<std::size_t>(json.at("cols").as_number());
+  const std::vector<float> data = json.at("data").to_floats();
+  if (data.size() != rows * cols) {
+    throw std::runtime_error("tensor data does not match its shape");
+  }
+  nn::Tensor t(rows, cols);
+  t.data() = data;
+  return t;
+}
+
+Json tensor_list_to_json(const std::vector<nn::Tensor>& tensors) {
+  Json arr = Json::array();
+  for (const nn::Tensor& t : tensors) arr.push_back(tensor_to_json(t));
+  return arr;
+}
+
+std::vector<nn::Tensor> tensor_list_from_json(const Json& json) {
+  std::vector<nn::Tensor> out;
+  out.reserve(json.as_array().size());
+  for (const Json& t : json.as_array()) out.push_back(tensor_from_json(t));
+  return out;
+}
+
+Json rng_state_to_json(const util::RngState& state) {
+  Json json = Json::object();
+  Json words = Json::array();
+  for (std::uint64_t w : state.s) words.push_back(u64_to_json(w));
+  json.set("s", std::move(words));
+  json.set("have_cached_normal", Json(state.have_cached_normal));
+  json.set("cached_normal", Json(state.cached_normal));
+  return json;
+}
+
+util::RngState rng_state_from_json(const Json& json) {
+  util::RngState state;
+  const Json& words = json.at("s");
+  if (words.size() != 4) {
+    throw std::runtime_error("rng state must have 4 words");
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    state.s[i] = u64_from_json(words.at(i));
+  }
+  state.have_cached_normal = json.at("have_cached_normal").as_bool();
+  state.cached_normal = json.at("cached_normal").number_or_nan();
+  return state;
+}
+
+Json batcher_state_to_json(const nn::Batcher::State& state) {
+  Json json = Json::object();
+  Json order = Json::array();
+  for (std::size_t i : state.order) order.push_back(Json(i));
+  json.set("order", std::move(order));
+  json.set("cursor", Json(state.cursor));
+  return json;
+}
+
+nn::Batcher::State batcher_state_from_json(const Json& json) {
+  nn::Batcher::State state;
+  state.order.reserve(json.at("order").size());
+  for (const Json& i : json.at("order").as_array()) {
+    state.order.push_back(static_cast<std::size_t>(i.as_number()));
+  }
+  state.cursor = static_cast<std::size_t>(json.at("cursor").as_number());
+  return state;
+}
+
+Json health_to_json(const core::RunHealth& health) {
+  Json json = Json::object();
+  json.set("rollbacks", Json(health.rollbacks));
+  json.set("aborted_early", Json(health.aborted_early));
+  json.set("interrupted", Json(health.interrupted));
+  json.set("resumed", Json(health.resumed));
+  json.set("resumed_from_epoch", Json(health.resumed_from_epoch));
+  json.set("completed_epochs", Json(health.completed_epochs));
+  json.set("measurement_retries", Json(health.measurement_retries));
+  json.set("measurements_rejected", Json(health.measurements_rejected));
+  Json events = Json::array();
+  for (const core::WatchdogEvent& event : health.events) {
+    Json row = Json::object();
+    row.set("epoch", Json(event.epoch));
+    row.set("reason", Json(event.reason));
+    row.set("rolled_back", Json(event.rolled_back));
+    events.push_back(std::move(row));
+  }
+  json.set("events", std::move(events));
+  return json;
+}
+
+core::RunHealth health_from_json(const Json& json) {
+  core::RunHealth health;
+  health.rollbacks =
+      static_cast<std::size_t>(json.at("rollbacks").as_number());
+  health.aborted_early = json.at("aborted_early").as_bool();
+  health.interrupted = json.at("interrupted").as_bool();
+  health.resumed = json.at("resumed").as_bool();
+  health.resumed_from_epoch =
+      static_cast<std::size_t>(json.at("resumed_from_epoch").as_number());
+  health.completed_epochs =
+      static_cast<std::size_t>(json.at("completed_epochs").as_number());
+  health.measurement_retries =
+      static_cast<std::size_t>(json.at("measurement_retries").as_number());
+  health.measurements_rejected = static_cast<std::size_t>(
+      json.at("measurements_rejected").as_number());
+  for (const Json& row : json.at("events").as_array()) {
+    core::WatchdogEvent event;
+    event.epoch = static_cast<std::size_t>(row.at("epoch").as_number());
+    event.reason = row.at("reason").as_string();
+    event.rolled_back = row.at("rolled_back").as_bool();
+    health.events.push_back(std::move(event));
+  }
+  return health;
+}
+
+Json epoch_stats_to_json(const core::SearchEpochStats& stats) {
+  Json row = Json::object();
+  row.set("epoch", Json(stats.epoch));
+  row.set("tau", Json(stats.tau));
+  row.set("lambda", Json(stats.lambda));
+  row.set("predicted_cost", Json(stats.predicted_cost));
+  row.set("lambdas", Json::from_doubles(stats.lambdas));
+  row.set("predicted_costs", Json::from_doubles(stats.predicted_costs));
+  row.set("sampled_cost_mean", Json(stats.sampled_cost_mean));
+  row.set("valid_loss", Json(stats.valid_loss));
+  row.set("valid_accuracy", Json(stats.valid_accuracy));
+  row.set("derived", Json(stats.derived.serialize()));
+  return row;
+}
+
+core::SearchEpochStats epoch_stats_from_json(const Json& row) {
+  core::SearchEpochStats stats;
+  stats.epoch = static_cast<std::size_t>(row.at("epoch").as_number());
+  stats.tau = row.at("tau").number_or_nan();
+  stats.lambda = row.at("lambda").number_or_nan();
+  stats.predicted_cost = row.at("predicted_cost").number_or_nan();
+  // Per-constraint vectors were added after the first release of this
+  // format; fall back to the single-constraint mirrors.
+  if (row.contains("lambdas")) {
+    stats.lambdas = row.at("lambdas").to_doubles();
+    stats.predicted_costs = row.at("predicted_costs").to_doubles();
+  } else {
+    stats.lambdas = {stats.lambda};
+    stats.predicted_costs = {stats.predicted_cost};
+  }
+  stats.sampled_cost_mean = row.at("sampled_cost_mean").number_or_nan();
+  stats.valid_loss = row.at("valid_loss").number_or_nan();
+  stats.valid_accuracy = row.at("valid_accuracy").number_or_nan();
+  stats.derived =
+      space::Architecture::deserialize(row.at("derived").as_string());
+  return stats;
 }
 
 }  // namespace
@@ -127,18 +303,12 @@ Json search_result_to_json(const core::SearchResult& result) {
   json.set("final_lambda", Json(result.final_lambda));
   json.set("weight_updates", Json(result.weight_updates));
   json.set("alpha_updates", Json(result.alpha_updates));
+  json.set("final_costs", Json::from_doubles(result.final_costs));
+  json.set("final_lambdas", Json::from_doubles(result.final_lambdas));
+  json.set("health", health_to_json(result.health));
   Json trace = Json::array();
   for (const core::SearchEpochStats& stats : result.trace) {
-    Json row = Json::object();
-    row.set("epoch", Json(stats.epoch));
-    row.set("tau", Json(stats.tau));
-    row.set("lambda", Json(stats.lambda));
-    row.set("predicted_cost", Json(stats.predicted_cost));
-    row.set("sampled_cost_mean", Json(stats.sampled_cost_mean));
-    row.set("valid_loss", Json(stats.valid_loss));
-    row.set("valid_accuracy", Json(stats.valid_accuracy));
-    row.set("derived", Json(stats.derived.serialize()));
-    trace.push_back(std::move(row));
+    trace.push_back(epoch_stats_to_json(stats));
   }
   json.set("trace", std::move(trace));
   return json;
@@ -149,24 +319,26 @@ core::SearchResult search_result_from_json(const Json& json) {
   core::SearchResult result;
   result.architecture =
       space::Architecture::deserialize(json.at("architecture").as_string());
-  result.final_predicted_cost = json.at("final_predicted_cost").as_number();
-  result.final_lambda = json.at("final_lambda").as_number();
+  result.final_predicted_cost =
+      json.at("final_predicted_cost").number_or_nan();
+  result.final_lambda = json.at("final_lambda").number_or_nan();
   result.weight_updates =
       static_cast<std::size_t>(json.at("weight_updates").as_number());
   result.alpha_updates =
       static_cast<std::size_t>(json.at("alpha_updates").as_number());
+  // Fields added after the first release of this format.
+  if (json.contains("final_costs")) {
+    result.final_costs = json.at("final_costs").to_doubles();
+    result.final_lambdas = json.at("final_lambdas").to_doubles();
+  } else {
+    result.final_costs = {result.final_predicted_cost};
+    result.final_lambdas = {result.final_lambda};
+  }
+  if (json.contains("health")) {
+    result.health = health_from_json(json.at("health"));
+  }
   for (const Json& row : json.at("trace").as_array()) {
-    core::SearchEpochStats stats;
-    stats.epoch = static_cast<std::size_t>(row.at("epoch").as_number());
-    stats.tau = row.at("tau").as_number();
-    stats.lambda = row.at("lambda").as_number();
-    stats.predicted_cost = row.at("predicted_cost").as_number();
-    stats.sampled_cost_mean = row.at("sampled_cost_mean").as_number();
-    stats.valid_loss = row.at("valid_loss").as_number();
-    stats.valid_accuracy = row.at("valid_accuracy").as_number();
-    stats.derived =
-        space::Architecture::deserialize(row.at("derived").as_string());
-    result.trace.push_back(std::move(stats));
+    result.trace.push_back(epoch_stats_from_json(row));
   }
   return result;
 }
@@ -178,6 +350,86 @@ void save_search_result(const std::string& path,
 
 core::SearchResult load_search_result(const std::string& path) {
   return search_result_from_json(read_json_file(path));
+}
+
+// --- search checkpoints ------------------------------------------------
+
+Json checkpoint_to_json(const core::SearchCheckpoint& ck) {
+  Json json = Json::object();
+  json.set("kind", Json("lightnas.checkpoint"));
+  json.set("version", Json(kFormatVersion));
+  json.set("seed", u64_to_json(ck.seed));
+  json.set("total_epochs", Json(ck.total_epochs));
+  json.set("targets", Json::from_doubles(ck.targets));
+  json.set("next_epoch", Json(ck.next_epoch));
+  json.set("w_step_counter", Json(ck.w_step_counter));
+  json.set("alpha", tensor_to_json(ck.alpha));
+  json.set("supernet_weights", tensor_list_to_json(ck.supernet_weights));
+  json.set("w_velocity", tensor_list_to_json(ck.w_velocity));
+  json.set("adam_m", tensor_list_to_json(ck.adam_m));
+  json.set("adam_v", tensor_list_to_json(ck.adam_v));
+  json.set("adam_t", Json(ck.adam_t));
+  json.set("lambdas", Json::from_doubles(ck.lambdas));
+  json.set("cooldown_scale", Json(ck.cooldown_scale));
+  json.set("tau_floor", Json(ck.tau_floor));
+  json.set("rng", rng_state_to_json(ck.rng));
+  json.set("data_rng", rng_state_to_json(ck.data_rng));
+  json.set("valid_rng", rng_state_to_json(ck.valid_rng));
+  json.set("train_batcher", batcher_state_to_json(ck.train_batcher));
+  json.set("valid_batcher", batcher_state_to_json(ck.valid_batcher));
+  json.set("weight_updates", Json(ck.weight_updates));
+  json.set("alpha_updates", Json(ck.alpha_updates));
+  json.set("health", health_to_json(ck.health));
+  Json trace = Json::array();
+  for (const core::SearchEpochStats& stats : ck.trace) {
+    trace.push_back(epoch_stats_to_json(stats));
+  }
+  json.set("trace", std::move(trace));
+  return json;
+}
+
+core::SearchCheckpoint checkpoint_from_json(const Json& json) {
+  check_header(json, "lightnas.checkpoint");
+  core::SearchCheckpoint ck;
+  ck.seed = u64_from_json(json.at("seed"));
+  ck.total_epochs =
+      static_cast<std::size_t>(json.at("total_epochs").as_number());
+  ck.targets = json.at("targets").to_doubles();
+  ck.next_epoch = static_cast<std::size_t>(json.at("next_epoch").as_number());
+  ck.w_step_counter =
+      static_cast<std::size_t>(json.at("w_step_counter").as_number());
+  ck.alpha = tensor_from_json(json.at("alpha"));
+  ck.supernet_weights = tensor_list_from_json(json.at("supernet_weights"));
+  ck.w_velocity = tensor_list_from_json(json.at("w_velocity"));
+  ck.adam_m = tensor_list_from_json(json.at("adam_m"));
+  ck.adam_v = tensor_list_from_json(json.at("adam_v"));
+  ck.adam_t = static_cast<std::size_t>(json.at("adam_t").as_number());
+  ck.lambdas = json.at("lambdas").to_doubles();
+  ck.cooldown_scale = json.at("cooldown_scale").number_or_nan();
+  ck.tau_floor = json.at("tau_floor").number_or_nan();
+  ck.rng = rng_state_from_json(json.at("rng"));
+  ck.data_rng = rng_state_from_json(json.at("data_rng"));
+  ck.valid_rng = rng_state_from_json(json.at("valid_rng"));
+  ck.train_batcher = batcher_state_from_json(json.at("train_batcher"));
+  ck.valid_batcher = batcher_state_from_json(json.at("valid_batcher"));
+  ck.weight_updates =
+      static_cast<std::size_t>(json.at("weight_updates").as_number());
+  ck.alpha_updates =
+      static_cast<std::size_t>(json.at("alpha_updates").as_number());
+  ck.health = health_from_json(json.at("health"));
+  for (const Json& row : json.at("trace").as_array()) {
+    ck.trace.push_back(epoch_stats_from_json(row));
+  }
+  return ck;
+}
+
+void save_checkpoint(const std::string& path,
+                     const core::SearchCheckpoint& checkpoint) {
+  write_json_file_atomic(path, checkpoint_to_json(checkpoint));
+}
+
+core::SearchCheckpoint load_checkpoint(const std::string& path) {
+  return checkpoint_from_json(read_json_file(path));
 }
 
 }  // namespace lightnas::io

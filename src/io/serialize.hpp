@@ -44,4 +44,15 @@ void save_search_result(const std::string& path,
                         const core::SearchResult& result);
 core::SearchResult load_search_result(const std::string& path);
 
+// --- search checkpoints ------------------------------------------------
+
+Json checkpoint_to_json(const core::SearchCheckpoint& checkpoint);
+core::SearchCheckpoint checkpoint_from_json(const Json& json);
+
+/// Checkpoint writes are atomic (write-temp-then-rename): a crash during
+/// the write never corrupts the previous checkpoint at `path`.
+void save_checkpoint(const std::string& path,
+                     const core::SearchCheckpoint& checkpoint);
+core::SearchCheckpoint load_checkpoint(const std::string& path);
+
 }  // namespace lightnas::io

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 namespace lightnas::nn {
 
@@ -55,6 +57,16 @@ Dataset Batcher::next() {
 
 std::size_t Batcher::batches_per_epoch() const {
   return (data_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void Batcher::restore_state(State state) {
+  if (state.order.size() != data_.size() ||
+      state.cursor > state.order.size()) {
+    throw std::invalid_argument(
+        "Batcher::restore_state: snapshot does not match dataset");
+  }
+  order_ = std::move(state.order);
+  cursor_ = state.cursor;
 }
 
 SyntheticTask make_synthetic_task(const SyntheticTaskConfig& config) {

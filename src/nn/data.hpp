@@ -28,6 +28,14 @@ struct Dataset {
 /// Shuffled mini-batch iterator over a Dataset.
 class Batcher {
  public:
+  /// Serializable iterator position (checkpoint support). Together with
+  /// the state of the Rng the batcher draws from, this reproduces the
+  /// exact batch sequence after a restore.
+  struct State {
+    std::vector<std::size_t> order;
+    std::size_t cursor = 0;
+  };
+
   Batcher(const Dataset& data, std::size_t batch_size,
           lightnas::util::Rng& rng);
 
@@ -35,6 +43,10 @@ class Batcher {
   Dataset next();
 
   std::size_t batches_per_epoch() const;
+
+  State export_state() const { return {order_, cursor_}; }
+  /// Restore a snapshot taken on a batcher over the same dataset.
+  void restore_state(State state);
 
  private:
   const Dataset& data_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
+#include <string>
 
 namespace lightnas::nn {
 
@@ -84,6 +86,30 @@ void Sgd::zero_grad() {
   for (const VarPtr& p : params_) p->zero_grad();
 }
 
+namespace {
+
+void check_state_shapes(const std::vector<VarPtr>& params,
+                        const std::vector<Tensor>& tensors,
+                        const char* who) {
+  if (tensors.size() != params.size()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": state has wrong parameter count");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!tensors[i].same_shape(params[i]->value)) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": state tensor shape mismatch");
+    }
+  }
+}
+
+}  // namespace
+
+void Sgd::restore_state(const State& state) {
+  check_state_shapes(params_, state.velocity, "Sgd::restore_state");
+  velocity_ = state.velocity;
+}
+
 Adam::Adam(std::vector<VarPtr> params, double lr, double beta1, double beta2,
            double eps, double weight_decay)
     : params_(std::move(params)),
@@ -127,6 +153,14 @@ void Adam::zero_grad() {
   for (const VarPtr& p : params_) p->zero_grad();
 }
 
+void Adam::restore_state(const State& state) {
+  check_state_shapes(params_, state.m, "Adam::restore_state");
+  check_state_shapes(params_, state.v, "Adam::restore_state");
+  m_ = state.m;
+  v_ = state.v;
+  t_ = state.t;
+}
+
 LambdaAscent::LambdaAscent(double lr, double initial, bool clamp_at_zero,
                            double unwind_gain)
     : lr_(lr),
@@ -135,6 +169,13 @@ LambdaAscent::LambdaAscent(double lr, double initial, bool clamp_at_zero,
       unwind_gain_(unwind_gain) {
   assert(lr > 0.0);
   assert(unwind_gain >= 1.0);
+}
+
+void LambdaAscent::set_lr(double lr) {
+  if (!(lr > 0.0)) {
+    throw std::invalid_argument("LambdaAscent::set_lr: lr must be > 0");
+  }
+  lr_ = lr;
 }
 
 void LambdaAscent::step(double violation) {

@@ -34,6 +34,12 @@ double clip_grad_norm(const std::vector<VarPtr>& params, double max_norm);
 /// update (deep residual stacks occasionally spike).
 class Sgd {
  public:
+  /// Serializable optimizer state (checkpoint support): one velocity
+  /// tensor per parameter, in parameter order.
+  struct State {
+    std::vector<Tensor> velocity;
+  };
+
   Sgd(std::vector<VarPtr> params, double lr, double momentum = 0.0,
       double weight_decay = 0.0, double clip_norm = 0.0);
 
@@ -41,6 +47,11 @@ class Sgd {
   void zero_grad();
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }
+
+  State export_state() const { return {velocity_}; }
+  /// Restore a snapshot taken on an optimizer over identically-shaped
+  /// parameters; throws std::invalid_argument on shape mismatch.
+  void restore_state(const State& state);
 
  private:
   std::vector<VarPtr> params_;
@@ -55,6 +66,13 @@ class Sgd {
 /// lr 1e-3, wd 1e-3).
 class Adam {
  public:
+  /// Serializable optimizer state (checkpoint support).
+  struct State {
+    std::vector<Tensor> m;
+    std::vector<Tensor> v;
+    std::size_t t = 0;
+  };
+
   Adam(std::vector<VarPtr> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
 
@@ -62,6 +80,11 @@ class Adam {
   void zero_grad();
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }
+
+  State export_state() const { return {m_, v_, t_}; }
+  /// Restore a snapshot taken on an optimizer over identically-shaped
+  /// parameters; throws std::invalid_argument on shape mismatch.
+  void restore_state(const State& state);
 
  private:
   std::vector<VarPtr> params_;
@@ -100,6 +123,8 @@ class LambdaAscent {
 
   double value() const { return lambda_; }
   double lr() const { return lr_; }
+  /// The watchdog cools the ascent rate down after a rollback.
+  void set_lr(double lr);
   void reset(double value = 0.0) { lambda_ = value; }
 
  private:

@@ -116,4 +116,18 @@ Rng Rng::fork() {
   return Rng(next_u64());
 }
 
+RngState Rng::state() const {
+  RngState out;
+  for (std::size_t i = 0; i < 4; ++i) out.s[i] = s_[i];
+  out.have_cached_normal = have_cached_normal_;
+  out.cached_normal = cached_normal_;
+  return out;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  have_cached_normal_ = state.have_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace lightnas::util

@@ -1,9 +1,19 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace lightnas::util {
+
+/// Complete serializable generator state: the xoshiro256** words plus the
+/// Box-Muller spare. Restoring it reproduces the stream bit-for-bit —
+/// the contract the search checkpoint/resume machinery relies on.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  bool have_cached_normal = false;
+  double cached_normal = 0.0;
+};
 
 /// Deterministic, seedable pseudo-random number generator.
 ///
@@ -47,6 +57,10 @@ class Rng {
 
   /// Derive an independent child generator (for parallel streams).
   Rng fork();
+
+  /// Snapshot / restore the full generator state (checkpoint support).
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

@@ -46,18 +46,16 @@ class Args {
 
   double get_double(const std::string& name, double fallback) const {
     auto it = flags_.find(name);
-    return it == flags_.end() ? fallback : std::stod(it->second);
+    return it == flags_.end() ? fallback : parse_double(name, it->second);
   }
 
   double require_double(const std::string& name) const {
-    return std::stod(get(name));
+    return parse_double(name, get(name));
   }
 
   std::size_t get_size(const std::string& name, std::size_t fallback) const {
     auto it = flags_.find(name);
-    return it == flags_.end()
-               ? fallback
-               : static_cast<std::size_t>(std::stoull(it->second));
+    return it == flags_.end() ? fallback : parse_size(name, it->second);
   }
 
   /// Flags nobody consumed are usually typos; callers can report them.
@@ -68,6 +66,47 @@ class Args {
   }
 
  private:
+  // std::stod("3.5GHz") happily returns 3.5; a typo'd unit or a pasted
+  // cell must be an error, not a silently truncated value. Both parsers
+  // demand the whole token be consumed and name the offending flag.
+  [[noreturn]] static void bad_value(const std::string& name,
+                                     const std::string& text,
+                                     const char* expected) {
+    throw std::runtime_error("flag --" + name + ": '" + text + "' is not " +
+                             expected);
+  }
+
+  static double parse_double(const std::string& name,
+                             const std::string& text) {
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(text, &consumed);
+    } catch (const std::exception&) {
+      bad_value(name, text, "a number");
+    }
+    if (consumed != text.size()) bad_value(name, text, "a number");
+    return value;
+  }
+
+  static std::size_t parse_size(const std::string& name,
+                                const std::string& text) {
+    if (!text.empty() && text[0] == '-') {
+      bad_value(name, text, "a non-negative integer");
+    }
+    std::size_t consumed = 0;
+    unsigned long long value = 0;
+    try {
+      value = std::stoull(text, &consumed);
+    } catch (const std::exception&) {
+      bad_value(name, text, "a non-negative integer");
+    }
+    if (consumed != text.size()) {
+      bad_value(name, text, "a non-negative integer");
+    }
+    return static_cast<std::size_t>(value);
+  }
+
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
 };

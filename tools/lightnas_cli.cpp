@@ -12,7 +12,9 @@
 // expensive part) are run once and reused across searches — exactly the
 // deployment workflow the paper argues for.
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -71,12 +73,28 @@ int cmd_measure(const cli::Args& args) {
   const std::size_t samples = args.get_size("samples", 10000);
   util::Rng rng(args.get_size("seed", 42) + 1);
 
+  hw::FaultSpec faults;
+  faults.outlier_prob = args.get_double("fault-outliers", 0.0);
+  faults.transient_failure_prob = args.get_double("fault-transients", 0.0);
+  faults.hang_prob = args.get_double("fault-hangs", 0.0);
+  faults.drift_per_measurement = args.get_double("fault-drift", 0.0);
+  device.set_fault_spec(faults);
+  const bool robust =
+      args.get("robust", "0") != "0" || faults.enabled();
+
   std::fprintf(stderr, "measuring %zu architectures (%s) on %s...\n",
                samples, metric_name.c_str(),
                device.profile().name.c_str());
-  const predictors::MeasurementDataset data =
-      predictors::build_measurement_dataset(space, device, samples, metric,
-                                            rng);
+  predictors::MeasurementDataset data;
+  if (robust) {
+    predictors::CampaignReport report;
+    data = predictors::build_robust_measurement_dataset(
+        space, device, samples, metric, rng, {}, &report);
+    std::fprintf(stderr, "%s\n", report.to_string().c_str());
+  } else {
+    data = predictors::build_measurement_dataset(space, device, samples,
+                                                 metric, rng);
+  }
   const std::string out = args.get("out", "dataset.json");
   io::save_dataset(out, data, space.num_ops());
   std::printf("wrote %zu measurements to %s\n", data.size(), out.c_str());
@@ -140,14 +158,38 @@ int cmd_search(const cli::Args& args) {
   core::LightNasConfig config;
   config.seed = args.get_size("seed", 0);
   config.epochs = args.get_size("epochs", 55);
+  config.warmup_epochs =
+      args.get_size("warmup", std::min<std::size_t>(config.warmup_epochs,
+                                                    config.epochs / 2));
   config.log_progress = args.get("verbose", "0") != "0";
+
+  core::SearchHooks hooks;
+  core::SearchCheckpoint resume_state;
+  if (args.has("resume")) {
+    const std::string path = args.get("resume");
+    resume_state = io::load_checkpoint(path);
+    hooks.resume = &resume_state;
+    std::fprintf(stderr, "resuming from %s (epoch %zu/%zu)\n", path.c_str(),
+                 resume_state.next_epoch, resume_state.total_epochs);
+  }
+  std::string checkpoint_path;
+  if (args.has("checkpoint-dir")) {
+    const std::string dir = args.get("checkpoint-dir");
+    std::filesystem::create_directories(dir);
+    checkpoint_path = dir + "/checkpoint.json";
+    hooks.checkpoint_every = args.get_size("checkpoint-every", 5);
+    hooks.on_checkpoint = [&](const core::SearchCheckpoint& ck) {
+      io::save_checkpoint(checkpoint_path, ck);
+    };
+  }
 
   std::fprintf(stderr, "searching (one run)...\n");
   core::LightNas engine(space, constraints, task, core::SupernetConfig{},
                         config);
-  const core::SearchResult result = engine.search();
+  const core::SearchResult result = engine.search(hooks);
 
   std::printf("%s\n\n", result.architecture.to_diagram(space).c_str());
+  std::printf("run health: %s\n", result.health.summary().c_str());
   for (std::size_t c = 0; c < constraints.size(); ++c) {
     std::printf("constraint %zu: predicted %.2f %s (target %.2f)\n", c,
                 result.final_costs[c],
@@ -159,6 +201,9 @@ int cmd_search(const cli::Args& args) {
   const std::string out = args.get("out", "result.json");
   io::save_search_result(out, result);
   std::printf("wrote search result (with trace) to %s\n", out.c_str());
+  if (!checkpoint_path.empty()) {
+    std::printf("final checkpoint: %s\n", checkpoint_path.c_str());
+  }
   return 0;
 }
 
@@ -217,12 +262,17 @@ void print_usage() {
       "commands:\n"
       "  devices                                list device profiles\n"
       "  measure         --device D --metric latency|energy --samples N\n"
-      "                  --out dataset.json\n"
+      "                  [--robust 1] [--fault-outliers P]\n"
+      "                  [--fault-transients P] [--fault-hangs P]\n"
+      "                  [--fault-drift D] --out dataset.json\n"
       "  train-predictor --dataset F --epochs N --unit ms|mJ\n"
       "                  --out predictor.json\n"
       "  eval-predictor  --predictor F --dataset F\n"
       "  search          --predictor F --target T\n"
       "                  [--predictor2 F --target2 T] [--seed N]\n"
+      "                  [--epochs N] [--warmup N]\n"
+      "                  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "                  [--resume DIR/checkpoint.json]\n"
       "                  --out result.json\n"
       "  show            --result F | --arch \"0,1,...\" [--device D]\n"
       "  predict         --predictor F --arch \"0,1,...\"\n");
