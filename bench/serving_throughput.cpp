@@ -1,0 +1,100 @@
+// Serving-throughput campaign: the scalability counterpart of the
+// search-cost tables.
+//
+// The north-star deployment amortizes one trained predictor across many
+// concurrent consumers (search loops, baselines, external callers). This
+// bench quantifies the three levers the serve/ subsystem stacks on top
+// of the sequential CostOracle::predict baseline:
+//   1. micro-batching   — B pending queries -> one B x (L*K) MLP forward,
+//   2. sharded LRU cache — Zipf-skewed popularity means hot
+//      architectures are answered without any forward at all,
+//   3. concurrency      — multiple batching workers + many clients.
+//
+// Headline number: closed-loop queries/sec vs the single-thread
+// baseline on the same Zipf workload (acceptance floor: >= 5x), with
+// cache hit rate, p50/p99 latency, and mean batch size reported per
+// configuration.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+#include "util/table.hpp"
+
+using namespace lightnas;
+
+int main() {
+  bench::banner("serving_throughput",
+                "concurrent batched prediction service (extends the "
+                "Sec 3.2 predictor into a serving layer)");
+
+  bench::Pipeline pipeline;
+  const auto predictor = bench::train_latency_predictor(pipeline);
+
+  util::Rng rng(123);
+  const std::vector<space::Architecture> pool =
+      serve::random_architecture_pool(pipeline.space,
+                                      bench::scaled(4096, 1024), rng);
+  const serve::ZipfSampler zipf(pool.size(), 1.1);
+  const std::size_t requests = bench::scaled(400000, 80000);
+  const std::uint64_t seed = 99;
+
+  std::printf("pool=%zu architectures, zipf s=1.1, %zu requests\n\n",
+              pool.size(), requests);
+
+  const serve::LoadResult baseline = serve::run_sequential_baseline(
+      *predictor, pool, zipf, requests, seed);
+  std::printf("sequential baseline: %.0f q/s (%.2f s wall)\n\n",
+              baseline.qps(), baseline.wall_seconds);
+
+  struct Config {
+    const char* label;
+    std::size_t workers;
+    std::size_t clients;
+    std::size_t max_batch;
+    std::size_t cache_capacity;
+  };
+  const std::vector<Config> configs = {
+      {"1 worker, no cache", 1, 32, 64, 0},
+      {"1 worker, cached", 1, 32, 64, 1 << 16},
+      {"2 workers, cached", 2, 32, 64, 1 << 16},
+      {"4 workers, cached", 4, 64, 64, 1 << 16},
+  };
+
+  util::Table table({"config", "q/s", "speedup", "hit rate", "p50 us",
+                     "p99 us", "mean batch"});
+  double best_speedup = 0.0;
+  for (const Config& config : configs) {
+    serve::ServiceConfig service_config;
+    service_config.num_workers = config.workers;
+    service_config.max_batch = config.max_batch;
+    service_config.cache_capacity = config.cache_capacity;
+    service_config.queue_capacity = 256;
+
+    serve::PredictionService service(*predictor, service_config);
+    const serve::LoadResult result = serve::run_closed_loop(
+        service, pool, zipf, config.clients, requests / config.clients,
+        seed);
+    const serve::ServiceStats stats = service.stats();
+    service.shutdown();
+
+    const double speedup = result.qps() / baseline.qps();
+    best_speedup = std::max(best_speedup, speedup);
+    table.add_row({config.label, util::fmt_double(result.qps(), 0),
+                   util::fmt_double(speedup, 1) + "x",
+                   util::fmt_pct(100.0 * stats.cache.hit_rate()) + " %",
+                   util::fmt_double(stats.latency_us.p50, 0),
+                   util::fmt_double(stats.latency_us.p99, 0),
+                   util::fmt_double(stats.batch_size.mean(), 1)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nbest speedup over sequential baseline: %.1fx (floor: 5x)"
+              " -> %s\n",
+              best_speedup, best_speedup >= 5.0 ? "OK" : "BELOW FLOOR");
+  return best_speedup >= 5.0 ? 0 : 1;
+}

@@ -200,21 +200,22 @@ bench/CMakeFiles/lightnas_bench_common.dir/common.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/hw/device.hpp \
- /root/repo/src/space/architecture.hpp \
- /root/repo/src/space/search_space.hpp \
- /root/repo/src/space/operator_space.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/array /root/repo/src/predictors/mlp_predictor.hpp \
- /root/repo/src/nn/modules.hpp /root/repo/src/nn/autograd.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/space/architecture.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/nn/tensor.hpp \
- /root/repo/src/predictors/dataset.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/space/search_space.hpp \
+ /root/repo/src/space/operator_space.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/predictors/mlp_predictor.hpp \
+ /root/repo/src/nn/modules.hpp /root/repo/src/nn/autograd.hpp \
+ /root/repo/src/nn/tensor.hpp /root/repo/src/predictors/dataset.hpp \
  /root/repo/src/predictors/metrics.hpp \
  /root/repo/src/predictors/predictor.hpp

@@ -9,6 +9,7 @@ subdirs("nn")
 subdirs("space")
 subdirs("hw")
 subdirs("predictors")
+subdirs("serve")
 subdirs("core")
 subdirs("baselines")
 subdirs("eval")

@@ -123,7 +123,22 @@ src/eval/CMakeFiles/lightnas_eval.dir/zoo.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/hw/cost_model.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/hw/device.hpp \
- /root/repo/src/space/architecture.hpp \
+ /root/repo/src/space/architecture.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/space/search_space.hpp \
  /root/repo/src/space/operator_space.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cmath /usr/include/math.h \
@@ -148,5 +163,4 @@ src/eval/CMakeFiles/lightnas_eval.dir/zoo.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/array
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/rng.hpp

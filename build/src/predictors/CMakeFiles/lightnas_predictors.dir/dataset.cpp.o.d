@@ -124,16 +124,25 @@ src/predictors/CMakeFiles/lightnas_predictors.dir/dataset.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/hw/simulator.hpp \
  /root/repo/src/hw/cost_model.hpp /root/repo/src/hw/device.hpp \
- /root/repo/src/space/architecture.hpp \
- /root/repo/src/space/search_space.hpp \
- /root/repo/src/space/operator_space.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/array /usr/include/c++/12/algorithm \
+ /root/repo/src/space/architecture.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/space/search_space.hpp \
+ /root/repo/src/space/operator_space.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
@@ -163,5 +172,5 @@ src/predictors/CMakeFiles/lightnas_predictors.dir/dataset.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/stdexcept \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/util/stats.hpp

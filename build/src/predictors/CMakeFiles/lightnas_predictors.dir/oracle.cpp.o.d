@@ -125,14 +125,8 @@ src/predictors/CMakeFiles/lightnas_predictors.dir/oracle.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/space/architecture.hpp \
- /root/repo/src/space/search_space.hpp \
- /root/repo/src/space/operator_space.hpp \
- /root/repo/src/predictors/dataset.hpp /root/repo/src/hw/simulator.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/array \
- /root/repo/src/predictors/predictor.hpp /root/repo/src/nn/autograd.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
+ /root/repo/src/space/architecture.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -141,11 +135,17 @@ src/predictors/CMakeFiles/lightnas_predictors.dir/oracle.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/space/search_space.hpp \
+ /root/repo/src/space/operator_space.hpp \
+ /root/repo/src/predictors/dataset.hpp /root/repo/src/hw/simulator.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/predictors/predictor.hpp \
+ /root/repo/src/nn/autograd.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

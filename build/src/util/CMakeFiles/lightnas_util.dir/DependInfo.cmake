@@ -10,10 +10,12 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/lightnas_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/lightnas_util.dir/csv.cpp.o.d"
   "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/lightnas_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/lightnas_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/metrics.cpp" "src/util/CMakeFiles/lightnas_util.dir/metrics.cpp.o" "gcc" "src/util/CMakeFiles/lightnas_util.dir/metrics.cpp.o.d"
   "/root/repo/src/util/plot.cpp" "src/util/CMakeFiles/lightnas_util.dir/plot.cpp.o" "gcc" "src/util/CMakeFiles/lightnas_util.dir/plot.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/lightnas_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/lightnas_util.dir/rng.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/lightnas_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/lightnas_util.dir/stats.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/lightnas_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/lightnas_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/lightnas_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/lightnas_util.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/lightnas_util.dir/csv.cpp.o.d"
   "CMakeFiles/lightnas_util.dir/log.cpp.o"
   "CMakeFiles/lightnas_util.dir/log.cpp.o.d"
+  "CMakeFiles/lightnas_util.dir/metrics.cpp.o"
+  "CMakeFiles/lightnas_util.dir/metrics.cpp.o.d"
   "CMakeFiles/lightnas_util.dir/plot.cpp.o"
   "CMakeFiles/lightnas_util.dir/plot.cpp.o.d"
   "CMakeFiles/lightnas_util.dir/rng.cpp.o"
@@ -11,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/lightnas_util.dir/stats.cpp.o.d"
   "CMakeFiles/lightnas_util.dir/table.cpp.o"
   "CMakeFiles/lightnas_util.dir/table.cpp.o.d"
+  "CMakeFiles/lightnas_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lightnas_util.dir/thread_pool.cpp.o.d"
   "liblightnas_util.a"
   "liblightnas_util.pdb"
 )

@@ -23,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/predictors_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/predictors_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/predictors_test.cpp.o.d"
   "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/property_test.cpp.o.d"
   "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/serve_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/serve_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/serve_test.cpp.o.d"
   "/root/repo/tests/space_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/space_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/space_test.cpp.o.d"
   "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/tensor_test.cpp.o.d"
   "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/lightnas_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/lightnas_tests.dir/util_test.cpp.o.d"
@@ -34,6 +35,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/baselines/CMakeFiles/lightnas_baselines.dir/DependInfo.cmake"
   "/root/repo/build/src/eval/CMakeFiles/lightnas_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/lightnas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/lightnas_serve.dir/DependInfo.cmake"
   "/root/repo/build/src/predictors/CMakeFiles/lightnas_predictors.dir/DependInfo.cmake"
   "/root/repo/build/src/hw/CMakeFiles/lightnas_hw.dir/DependInfo.cmake"
   "/root/repo/build/src/space/CMakeFiles/lightnas_space.dir/DependInfo.cmake"

@@ -293,6 +293,8 @@ tests/CMakeFiles/lightnas_tests.dir/space_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/space/architecture.hpp \
  /root/repo/src/space/operator_space.hpp \
  /root/repo/src/space/search_space.hpp /root/repo/src/util/rng.hpp

@@ -316,6 +316,18 @@ tests/CMakeFiles/lightnas_tests.dir/util_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/csv.hpp \
- /root/repo/src/util/plot.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/util/table.hpp
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/util/csv.hpp /root/repo/src/util/log.hpp \
+ /root/repo/src/util/metrics.hpp /root/repo/src/util/plot.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/util/table.hpp /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc

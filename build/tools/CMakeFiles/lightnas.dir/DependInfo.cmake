@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/io/CMakeFiles/lightnas_io.dir/DependInfo.cmake"
   "/root/repo/build/src/eval/CMakeFiles/lightnas_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/lightnas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/lightnas_serve.dir/DependInfo.cmake"
   "/root/repo/build/src/predictors/CMakeFiles/lightnas_predictors.dir/DependInfo.cmake"
   "/root/repo/build/src/hw/CMakeFiles/lightnas_hw.dir/DependInfo.cmake"
   "/root/repo/build/src/space/CMakeFiles/lightnas_space.dir/DependInfo.cmake"

@@ -244,4 +244,20 @@ tools/CMakeFiles/lightnas.dir/lightnas_cli.cpp.o: \
  /root/repo/src/hw/device.hpp /root/repo/src/predictors/mlp_predictor.hpp \
  /root/repo/src/predictors/metrics.hpp \
  /root/repo/src/predictors/lut_predictor.hpp \
- /root/repo/src/space/flops.hpp /root/repo/src/util/table.hpp
+ /root/repo/src/serve/service.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/serve/cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/optional /root/repo/src/util/metrics.hpp \
+ /root/repo/src/serve/workload.hpp /root/repo/src/space/flops.hpp \
+ /root/repo/src/util/table.hpp

@@ -33,6 +33,13 @@ VarPtr Linear::forward(const VarPtr& x) const {
   return ops::add_bias(ops::matmul(x, weight_), bias_);
 }
 
+Tensor Linear::forward_inference(const Tensor& x) const {
+  assert(x.cols() == in_);
+  Tensor out = matmul(x, weight_->value);
+  out.add_row_inplace(bias_->value);
+  return out;
+}
+
 std::vector<VarPtr> Linear::parameters() const {
   return {weight_, bias_};
 }
@@ -52,6 +59,15 @@ VarPtr Mlp::forward(const VarPtr& x) const {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].forward(h);
     if (i + 1 < layers_.size()) h = ops::relu(h);
+  }
+  return h;
+}
+
+Tensor Mlp::forward_inference(const Tensor& x) const {
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward_inference(h);
+    if (i + 1 < layers_.size()) h.relu_inplace();
   }
   return h;
 }

@@ -34,6 +34,11 @@ class Linear : public Module {
          lightnas::util::Rng& rng, std::string name = "linear");
 
   VarPtr forward(const VarPtr& x) const;
+  /// Graph-free batched forward (B x in -> B x out). Bit-identical to
+  /// `forward` — same matmul kernel, same accumulation order — without
+  /// allocating autograd nodes; safe to call concurrently from many
+  /// threads (touches only the immutable parameter values).
+  Tensor forward_inference(const Tensor& x) const;
   std::vector<VarPtr> parameters() const override;
 
   std::size_t in_features() const { return in_; }
@@ -57,6 +62,11 @@ class Mlp : public Module {
       std::string name = "mlp");
 
   VarPtr forward(const VarPtr& x) const;
+  /// Graph-free batched forward over B rows at once: one matmul per
+  /// layer instead of B sequential 1-row graph builds. This is the
+  /// serving layer's hot path; see Linear::forward_inference for the
+  /// bit-identity and thread-safety contract.
+  Tensor forward_inference(const Tensor& x) const;
   std::vector<VarPtr> parameters() const override;
 
   const std::vector<Linear>& layers() const { return layers_; }

@@ -88,6 +88,19 @@ void Tensor::axpy_inplace(float s, const Tensor& other) {
   }
 }
 
+void Tensor::add_row_inplace(const Tensor& row) {
+  assert(row.rows() == 1 && row.cols() == cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      data_[r * cols_ + c] += row.data_[c];
+    }
+  }
+}
+
+void Tensor::relu_inplace() {
+  for (auto& v : data_) v = std::max(v, 0.0f);
+}
+
 Tensor Tensor::reshaped(std::size_t rows, std::size_t cols) const {
   assert(rows * cols == data_.size());
   Tensor t;

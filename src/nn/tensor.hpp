@@ -56,6 +56,10 @@ class Tensor {
   void scale_inplace(float s);
   /// this += s * other (axpy), the core optimizer update primitive.
   void axpy_inplace(float s, const Tensor& other);
+  /// Broadcast-add a 1 x cols row over every row (bias application).
+  void add_row_inplace(const Tensor& row);
+  /// Elementwise max(v, 0) — the inference-path counterpart of ops::relu.
+  void relu_inplace();
 
   /// Reshape without copying; total size must be preserved.
   Tensor reshaped(std::size_t rows, std::size_t cols) const;

@@ -98,6 +98,27 @@ double MlpPredictor::predict_encoding(
          target_std_ * static_cast<double>(out->value.item());
 }
 
+std::vector<double> MlpPredictor::predict_batch(
+    const std::vector<space::Architecture>& archs) const {
+  assert(trained_);
+  if (archs.empty()) return {};
+  nn::Tensor x(archs.size(), input_dim());
+  for (std::size_t r = 0; r < archs.size(); ++r) {
+    const std::vector<float> enc = archs[r].encode_one_hot(num_ops_);
+    assert(enc.size() == input_dim());
+    std::copy(enc.begin(), enc.end(),
+              x.data().begin() +
+                  static_cast<std::ptrdiff_t>(r * input_dim()));
+  }
+  const nn::Tensor out = mlp_->forward_inference(x);
+  std::vector<double> result(archs.size());
+  for (std::size_t r = 0; r < archs.size(); ++r) {
+    result[r] =
+        target_mean_ + target_std_ * static_cast<double>(out.at(r, 0));
+  }
+  return result;
+}
+
 nn::VarPtr MlpPredictor::forward_var(const nn::VarPtr& encoding) const {
   assert(trained_);
   assert(encoding->value.rows() == 1);

@@ -47,6 +47,14 @@ class MlpPredictor : public HardwarePredictor {
   double predict(const space::Architecture& arch) const override;
   double predict_encoding(const std::vector<float>& encoding) const;
 
+  /// True batched inference: stacks the B one-hot encodings into one
+  /// B x (L*K) tensor and runs a single graph-free MLP forward instead
+  /// of B sequential 1-row autograd forwards. Per-row results are
+  /// bit-identical to `predict`. Thread-safe (read-only on the weights);
+  /// this is the micro-batching service's hot path.
+  std::vector<double> predict_batch(
+      const std::vector<space::Architecture>& archs) const override;
+
   /// Differentiable prediction: input is a 1 x (L*K) Var (typically the
   /// binarized P-bar with a straight-through estimator attached); output
   /// is a 1x1 Var in the target's unit.

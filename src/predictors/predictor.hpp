@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "nn/autograd.hpp"
 #include "space/architecture.hpp"
@@ -16,6 +17,14 @@ class CostOracle {
   /// Point prediction for a concrete architecture, in `unit()`s.
   virtual double predict(const space::Architecture& arch) const = 0;
 
+  /// Batched prediction: one value per architecture, in `unit()`s.
+  /// The default loops over `predict`; implementations with a real
+  /// batched path (MlpPredictor) override it. The serving layer calls
+  /// this from multiple worker threads concurrently, so overrides must
+  /// be const-thread-safe.
+  virtual std::vector<double> predict_batch(
+      const std::vector<space::Architecture>& archs) const;
+
   /// Human-readable unit, e.g. "ms" or "mJ".
   virtual std::string unit() const = 0;
 };
@@ -30,5 +39,13 @@ class HardwarePredictor : public CostOracle {
   /// Differentiable prediction over a 1 x (L*K) encoding Var.
   virtual nn::VarPtr forward_var(const nn::VarPtr& encoding) const = 0;
 };
+
+inline std::vector<double> CostOracle::predict_batch(
+    const std::vector<space::Architecture>& archs) const {
+  std::vector<double> out;
+  out.reserve(archs.size());
+  for (const space::Architecture& arch : archs) out.push_back(predict(arch));
+  return out;
+}
 
 }  // namespace lightnas::predictors

@@ -1,0 +1,85 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lightnas::serve {
+
+std::string CacheStats::to_string() const {
+  std::ostringstream oss;
+  oss.precision(3);
+  oss << "hits=" << hits << " misses=" << misses
+      << " hit_rate=" << hit_rate() << " evictions=" << evictions
+      << " entries=" << entries;
+  return oss.str();
+}
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity,
+                                 std::size_t num_shards)
+    : shards_(std::max<std::size_t>(num_shards, 1)) {
+  const std::size_t shards = shards_.size();
+  per_shard_capacity_ = std::max<std::size_t>(
+      1, (capacity + shards - 1) / shards);
+}
+
+std::optional<double> ShardedLruCache::get(std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ShardedLruCache::put(std::uint64_t key, double value) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+CacheStats ShardedLruCache::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.entries += shard.lru.size();
+  }
+  return total;
+}
+
+std::size_t ShardedLruCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+void ShardedLruCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace lightnas::serve

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lightnas::serve {
+
+/// Aggregated cache statistics (summed over shards at read time).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / double(total);
+  }
+  std::string to_string() const;
+};
+
+/// Sharded LRU cache from a 64-bit architecture fingerprint to a
+/// predicted cost.
+///
+/// Sharding is the concurrency strategy: each shard owns an independent
+/// mutex + LRU list + hash map, and a key's shard is a fixed function of
+/// its fingerprint, so two lookups contend only when they land on the
+/// same shard (1/num_shards of the time under the fingerprint's uniform
+/// mixing). Keys are the *values'* responsibility: Architecture
+/// fingerprints are stable and collide with probability ~2^-64, which
+/// the serving layer accepts (a collision would silently serve the
+/// wrong cost — at 2^-64 per pair that is the same risk class as
+/// memory corruption).
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across shards
+  /// (rounded up per shard). `num_shards` is clamped to at least 1.
+  ShardedLruCache(std::size_t capacity, std::size_t num_shards = 16);
+
+  /// Lookup; refreshes the entry's LRU position on hit. Counts one hit
+  /// or one miss.
+  std::optional<double> get(std::uint64_t key);
+
+  /// Insert or overwrite; the entry becomes most-recently-used. Evicts
+  /// the shard's least-recently-used entry when the shard is full.
+  void put(std::uint64_t key, double value);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<std::uint64_t, double>> lru;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, double>>::iterator>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    // The fingerprint's low bits feed the hash map inside the shard, so
+    // pick the shard from the high bits to keep the two independent.
+    return shards_[(key >> 48) % shards_.size()];
+  }
+
+  std::size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace lightnas::serve

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "predictors/predictor.hpp"
+#include "serve/cache.hpp"
+#include "space/architecture.hpp"
+#include "util/metrics.hpp"
+
+namespace lightnas::serve {
+
+/// Tuning knobs for the prediction service.
+struct ServiceConfig {
+  /// Micro-batching worker threads draining the request queue.
+  std::size_t num_workers = 2;
+  /// Upper bound on how many pending requests one worker coalesces into
+  /// a single batched MLP forward.
+  std::size_t max_batch = 32;
+  /// Bounded request queue: submit() blocks when this many requests are
+  /// pending (backpressure toward the clients).
+  std::size_t queue_capacity = 1024;
+  /// Total LRU entries across shards; 0 disables caching entirely.
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t cache_shards = 16;
+};
+
+/// Point-in-time service telemetry. Latencies are end-to-end
+/// (submit -> fulfilled promise) in microseconds.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  CacheStats cache;
+  util::HistogramSnapshot latency_us;
+  util::HistogramSnapshot batch_size;
+  util::HistogramSnapshot queue_depth;
+
+  std::string to_string() const;
+};
+
+/// Concurrent batched prediction service over any CostOracle.
+///
+/// Architecture-cost queries flow through a bounded MPMC queue into a
+/// small pool of micro-batching workers. Each worker pops up to
+/// `max_batch` pending requests at once, answers what it can from the
+/// sharded LRU cache (keyed by Architecture::fingerprint), deduplicates
+/// the remaining misses, and pushes them through one batched
+/// `CostOracle::predict_batch` call — for the MLP predictor a single
+/// B x (L*K) graph-free forward instead of B sequential 1-row graphs.
+///
+/// Threading model:
+///   - any number of client threads may call submit()/predict();
+///   - submit() blocks while the queue is at capacity (backpressure);
+///   - workers never drop requests: shutdown() stops intake, drains the
+///     queue completely, then joins the workers, so every future
+///     obtained from submit() is eventually fulfilled;
+///   - results are delivered through std::promise/std::future, making
+///     per-request rendezvous lock-free for the client after wake-up.
+class PredictionService {
+ public:
+  /// The oracle must outlive the service and be const-thread-safe (both
+  /// built-in predictors are).
+  explicit PredictionService(const predictors::CostOracle& oracle,
+                             ServiceConfig config = {});
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Submit a query. Cache hits are answered immediately on the calling
+  /// thread (the returned future is already ready); misses enqueue and
+  /// block while the queue is full. Throws std::runtime_error once the
+  /// service is shutting down.
+  std::future<double> submit(const space::Architecture& arch);
+
+  /// Synchronous convenience wrapper: submit + wait.
+  double predict(const space::Architecture& arch);
+
+  /// Stop accepting new requests, drain everything already queued, and
+  /// join the workers. Idempotent; also run by the destructor.
+  void shutdown();
+
+  ServiceStats stats() const;
+  const ServiceConfig& config() const { return config_; }
+  std::string unit() const { return oracle_.unit(); }
+
+ private:
+  struct Request {
+    space::Architecture arch;
+    std::uint64_t key = 0;
+    std::promise<double> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void worker_loop();
+  void fulfill(Request& request, double value);
+
+  const predictors::CostOracle& oracle_;
+  ServiceConfig config_;
+  ShardedLruCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  util::Counter submitted_;
+  util::Counter completed_;
+  util::Counter batches_;
+  util::Histogram latency_us_;
+  util::Histogram batch_size_;
+  util::Histogram queue_depth_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lightnas::serve

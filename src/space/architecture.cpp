@@ -120,6 +120,32 @@ Architecture Architecture::deserialize(const std::string& text) {
   return arch;
 }
 
+namespace {
+
+/// SplitMix64 finalizer: a fixed, well-studied 64-bit mixer. Written out
+/// here (rather than reusing util::Rng internals) so the fingerprint's
+/// byte-level definition lives in exactly one place.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t Architecture::fingerprint() const {
+  // Seed with the layer count so prefixes of one another never collide
+  // trivially; fold each op index (+1 to distinguish op 0 from padding)
+  // through the mixer chain; close with the SE flag.
+  std::uint64_t h =
+      mix64(0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(
+                                        op_indices_.size()));
+  for (std::size_t op : op_indices_) {
+    h = mix64(h ^ (static_cast<std::uint64_t>(op) + 1));
+  }
+  return mix64(h ^ (with_se_ ? 0x5851f42d4c957f2dULL : 0));
+}
+
 bool ArchitectureLess::operator()(const Architecture& a,
                                   const Architecture& b) const {
   if (a.with_se() != b.with_se()) return !a.with_se();

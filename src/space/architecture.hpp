@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,14 @@ class Architecture {
   std::string serialize() const;
   static Architecture deserialize(const std::string& text);
 
+  /// Stable 64-bit fingerprint over (layer count, op indices, SE flag).
+  /// The mixing function is fixed by this library — not std::hash — so
+  /// the value is identical across platforms, standard libraries, and
+  /// process runs; it keys the serving cache and on-disk artifacts.
+  /// Equal architectures always agree; distinct ones collide with
+  /// probability ~2^-64.
+  std::uint64_t fingerprint() const;
+
   bool operator==(const Architecture& other) const = default;
 
  private:
@@ -62,3 +72,13 @@ struct ArchitectureLess {
 };
 
 }  // namespace lightnas::space
+
+/// Hash support so Architecture can key std::unordered_map / set
+/// directly (the serving layer's cache uses the raw fingerprint).
+template <>
+struct std::hash<lightnas::space::Architecture> {
+  std::size_t operator()(const lightnas::space::Architecture& arch) const
+      noexcept {
+    return static_cast<std::size_t>(arch.fingerprint());
+  }
+};

@@ -1,7 +1,7 @@
 #include "util/log.hpp"
 
 #include <atomic>
-#include <iostream>
+#include <cstdio>
 #include <mutex>
 
 namespace lightnas::util {
@@ -9,7 +9,14 @@ namespace lightnas::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+
+/// Leaked on purpose: worker threads (serving layer, benches) may still
+/// be logging while static destructors run at process exit; a
+/// function-local leaked mutex can never be used after destruction.
+std::mutex& log_mutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,17 +31,28 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 void set_log_level(LogLevel level) {
-  g_level.store(level);
+  g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel log_level() {
-  return g_level.load();
+  return g_level.load(std::memory_order_relaxed);
 }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
+  // Assemble the whole line first, then emit it with one write under the
+  // lock: concurrent writers can interleave *lines* but never characters,
+  // even against direct stderr writes from other code.
+  std::string line;
+  line.reserve(msg.size() + 10);
+  line.append("[").append(level_name(level)).append("] ").append(msg).append(
+      "\n");
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace lightnas::util

@@ -11,8 +11,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit a message to stderr with a level prefix. Thread-safe at the
-/// granularity of one line.
+/// Emit a message to stderr with a level prefix. Safe to call from any
+/// number of threads concurrently — including during process teardown —
+/// and lines are never interleaved character-wise.
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {

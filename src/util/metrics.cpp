@@ -1,0 +1,145 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace lightnas::util {
+
+namespace {
+
+/// CAS-loop updates keep us off C++20 atomic<double>::fetch_add, whose
+/// availability varies across standard libraries.
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string HistogramSnapshot::to_string(int precision) const {
+  std::ostringstream oss;
+  oss.precision(precision);
+  oss << "n=" << count << " mean=" << mean() << " p50=" << p50
+      << " p95=" << p95 << " p99=" << p99 << " max=" << max;
+  return oss.str();
+}
+
+Histogram Histogram::geometric(double lo, double hi,
+                               std::size_t buckets_per_decade) {
+  assert(lo > 0.0 && hi > lo && buckets_per_decade > 0);
+  const double growth =
+      std::pow(10.0, 1.0 / static_cast<double>(buckets_per_decade));
+  std::vector<double> bounds;
+  for (double b = lo * growth; b < hi; b *= growth) bounds.push_back(b);
+  bounds.push_back(hi);
+  return Histogram(lo, std::move(bounds));
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t num_buckets) {
+  assert(hi > lo && num_buckets > 0);
+  std::vector<double> bounds;
+  bounds.reserve(num_buckets);
+  const double width = (hi - lo) / static_cast<double>(num_buckets);
+  for (std::size_t i = 1; i < num_buckets; ++i) {
+    bounds.push_back(lo + width * static_cast<double>(i));
+  }
+  bounds.push_back(hi);
+  return Histogram(lo, std::move(bounds));
+}
+
+Histogram::Histogram(double lo, std::vector<double> upper_bounds)
+    : lo_(lo),
+      upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size()),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+Histogram::Histogram(const Histogram& other)
+    : lo_(other.lo_),
+      upper_bounds_(other.upper_bounds_),
+      buckets_(other.upper_bounds_.size()),
+      count_(other.count_.load(std::memory_order_relaxed)),
+      sum_(other.sum_.load(std::memory_order_relaxed)),
+      min_(other.min_.load(std::memory_order_relaxed)),
+      max_(other.max_.load(std::memory_order_relaxed)) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+}
+
+std::size_t Histogram::bucket_index(double value) const {
+  // First bucket whose upper bound contains the value; out-of-range
+  // values clamp into the end buckets.
+  const auto it = std::lower_bound(upper_bounds_.begin(),
+                                   upper_bounds_.end(), value);
+  if (it == upper_bounds_.end()) return upper_bounds_.size() - 1;
+  return static_cast<std::size_t>(it - upper_bounds_.begin());
+}
+
+void Histogram::record(double value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += counts[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+
+  const auto quantile = [&](double q) {
+    const double rank = q * static_cast<double>(snap.count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;
+      const double before = static_cast<double>(cumulative);
+      cumulative += counts[i];
+      if (static_cast<double>(cumulative) >= rank) {
+        const double lower = i == 0 ? lo_ : upper_bounds_[i - 1];
+        const double upper = upper_bounds_[i];
+        const double frac = (rank - before) / double(counts[i]);
+        return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+      }
+    }
+    return upper_bounds_.back();
+  };
+  snap.p50 = quantile(0.50);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  // Interpolated quantiles can't exceed observed extremes.
+  snap.p50 = std::clamp(snap.p50, snap.min, snap.max);
+  snap.p95 = std::clamp(snap.p95, snap.min, snap.max);
+  snap.p99 = std::clamp(snap.p99, snap.min, snap.max);
+  return snap;
+}
+
+}  // namespace lightnas::util

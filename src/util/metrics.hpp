@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lightnas::util {
+
+/// Monotonic event counter, safe for any number of concurrent writers.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time view of a Histogram (see below). Quantiles are
+/// estimated by linear interpolation inside the bucket where the rank
+/// falls — exact to within one bucket's resolution.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  /// "n=1234 mean=0.8 p50=0.7 p95=2.1 p99=4.0 max=9.3" (diagnostics).
+  std::string to_string(int precision = 3) const;
+};
+
+/// Lock-free fixed-bucket histogram for hot-path recording: `record` is
+/// one relaxed atomic increment per observation plus min/max CAS loops.
+/// Two bucket layouts cover the serving metrics:
+///   - geometric: latencies (wide dynamic range, relative resolution)
+///   - linear: batch sizes / queue depths (small integer ranges)
+/// Values outside [lo, hi] clamp into the first / last bucket.
+class Histogram {
+ public:
+  /// Buckets whose upper bounds grow geometrically from `lo` to `hi`.
+  /// `buckets_per_decade` sets relative resolution (12 -> ~21% wide).
+  static Histogram geometric(double lo, double hi,
+                             std::size_t buckets_per_decade = 12);
+  /// `num_buckets` equal-width buckets spanning [lo, hi].
+  static Histogram linear(double lo, double hi, std::size_t num_buckets);
+
+  Histogram(const Histogram& other);
+
+  void record(double value);
+  HistogramSnapshot snapshot() const;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Histogram(double lo, std::vector<double> upper_bounds);
+  std::size_t bucket_index(double value) const;
+
+  double lo_;
+  std::vector<double> upper_bounds_;  // ascending; last entry = hi
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace lightnas::util

@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <numbers>
@@ -128,6 +129,19 @@ void Rng::set_state(const RngState& state) {
   for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
   have_cached_normal_ = state.have_cached_normal;
   cached_normal_ = state.cached_normal;
+}
+
+std::size_t this_thread_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+Rng make_thread_rng(std::uint64_t base_seed) {
+  // XOR perturbs only the low bits, but Rng seeds through SplitMix64,
+  // which diffuses them across the full state.
+  return Rng(base_seed ^ static_cast<std::uint64_t>(this_thread_index()));
 }
 
 }  // namespace lightnas::util

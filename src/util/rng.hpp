@@ -68,4 +68,15 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// Small dense index of the calling thread: 0 for the first thread that
+/// asks, 1 for the second, and so on; stable for the thread's lifetime.
+/// With a deterministic thread-spawn order (fixed worker/client counts,
+/// as in the serving benches) the assignment is reproducible run-to-run.
+std::size_t this_thread_index();
+
+/// Per-thread deterministic generator: Rng(base_seed ^ thread index).
+/// Each thread derives an independent stream from one experiment seed
+/// without coordination — the multi-threaded counterpart of Rng::fork.
+Rng make_thread_rng(std::uint64_t base_seed);
+
 }  // namespace lightnas::util

@@ -1,0 +1,62 @@
+#include "util/thread_pool.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace lightnas::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  assert(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!stopping_);
+    tasks_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !tasks_.empty(); });
+      // Drain remaining tasks even when stopping: destruction waits for
+      // everything already submitted.
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace lightnas::util

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lightnas::util {
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Deliberately small: submit / wait_idle / join-on-destruction is all
+/// the serving layer and the load generators need. Tasks are plain
+/// std::function<void()>; exceptions escaping a task terminate the
+/// process (workers do not swallow them silently), so tasks must handle
+/// their own failures — the same contract as std::thread.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Never blocks (the queue is unbounded — backpressure
+  /// belongs to the serving queue, not the pool).
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lightnas::util

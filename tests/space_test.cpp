@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <unordered_set>
 
 #include "space/architecture.hpp"
 #include "space/operator_space.hpp"
@@ -168,6 +169,75 @@ TEST(Architecture, LessGivesStrictWeakOrder) {
   const Architecture a = space.mobilenet_v2_like();
   ArchitectureLess less;
   EXPECT_FALSE(less(a, a));
+}
+
+TEST(ArchitectureFingerprint, StableAcrossRunsAndPlatforms) {
+  // Golden values pin the byte-level definition: any change to the
+  // mixing chain silently invalidates serving caches and on-disk keys,
+  // so it must show up here as a failure.
+  Architecture arch({0, 1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(arch.fingerprint(), 0xb2fecf5fe4844ef0ULL);
+  arch.set_with_se(true);
+  EXPECT_EQ(arch.fingerprint(), 0x158457f4893d550fULL);
+  EXPECT_EQ(Architecture().fingerprint(), 0x48218226ff3cd4bfULL);
+}
+
+TEST(ArchitectureFingerprint, EqualArchitecturesAgree) {
+  const SearchSpace space = SearchSpace::fbnet_xavier();
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Architecture a = space.random_architecture(rng);
+    const Architecture b(a.ops());
+    ASSERT_EQ(a, b);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  }
+}
+
+TEST(ArchitectureFingerprint, SensitiveToEveryField) {
+  Architecture base({2, 2, 2, 2});
+  const std::uint64_t fp = base.fingerprint();
+  for (std::size_t l = 0; l < base.num_layers(); ++l) {
+    Architecture mutated = base;
+    mutated.set_op(l, 3);
+    EXPECT_NE(mutated.fingerprint(), fp) << "layer " << l;
+  }
+  Architecture se = base;
+  se.set_with_se(true);
+  EXPECT_NE(se.fingerprint(), fp);
+  // Prefix/padding: [2,2,2] vs [2,2,2,0] vs [2,2,2,2] all distinct.
+  EXPECT_NE(Architecture({2, 2, 2}).fingerprint(),
+            Architecture({2, 2, 2, 0}).fingerprint());
+  EXPECT_NE(Architecture({2, 2, 2, 0}).fingerprint(), fp);
+}
+
+TEST(ArchitectureFingerprint, NoCollisionsOverRandomSample) {
+  const SearchSpace space = SearchSpace::fbnet_xavier();
+  util::Rng rng(11);
+  std::set<Architecture, ArchitectureLess> unique;
+  std::set<std::uint64_t> fingerprints;
+  while (unique.size() < 5000) {
+    const Architecture arch = space.random_architecture(rng);
+    if (unique.insert(arch).second) {
+      fingerprints.insert(arch.fingerprint());
+    }
+  }
+  // 5000 distinct architectures -> 5000 distinct 64-bit fingerprints
+  // (a birthday collision here has probability ~7e-13).
+  EXPECT_EQ(fingerprints.size(), unique.size());
+}
+
+TEST(ArchitectureFingerprint, StdHashUsableInUnorderedSet) {
+  const SearchSpace space = SearchSpace::fbnet_xavier();
+  util::Rng rng(12);
+  std::unordered_set<Architecture> seen;
+  std::vector<Architecture> inserted;
+  for (int i = 0; i < 200; ++i) {
+    const Architecture arch = space.random_architecture(rng);
+    if (seen.insert(arch).second) inserted.push_back(arch);
+  }
+  for (const Architecture& arch : inserted) {
+    EXPECT_TRUE(seen.contains(arch));
+  }
 }
 
 TEST(SearchSpace, DescribeMentionsSize) {

@@ -6,6 +6,7 @@
 //   lightnas search           one-shot constrained search -> result.json
 //   lightnas show             inspect an architecture / search result
 //   lightnas predict          predict the cost of an architecture
+//   lightnas serve-bench      load-test the batched prediction service
 //   lightnas devices          list the built-in device profiles
 //
 // Every artifact is a self-describing JSON file, so campaigns (the
@@ -23,6 +24,8 @@
 #include "eval/accuracy_model.hpp"
 #include "io/serialize.hpp"
 #include "predictors/lut_predictor.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
 #include "space/flops.hpp"
 #include "util/table.hpp"
 
@@ -255,6 +258,95 @@ int cmd_predict(const cli::Args& args) {
   return 0;
 }
 
+int cmd_serve_bench(const cli::Args& args) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+
+  // Validate every flag before spending time on training or load
+  // generation — a typo should fail in milliseconds.
+  const std::size_t seed = args.get_size("seed", 42);
+  const std::size_t samples = args.get_size("samples", 2000);
+  const std::size_t epochs = args.get_size("epochs", 60);
+  const std::size_t pool_size = args.get_size("pool", 2048);
+  const double zipf_s = args.get_double("zipf", 1.1);
+  const std::size_t clients =
+      std::max<std::size_t>(args.get_size("clients", 32), 1);
+  const std::size_t requests = args.get_size("requests", 100000);
+
+  serve::ServiceConfig config;
+  config.num_workers = args.get_size("workers", 2);
+  config.max_batch = args.get_size("batch", 64);
+  config.queue_capacity = args.get_size("queue", 256);
+  config.cache_capacity = args.get_size("cache", 1 << 16);
+
+  // Serve a trained predictor artifact when given one; otherwise run a
+  // small in-process campaign so the command works standalone.
+  predictors::MlpPredictor predictor(space.num_layers(), space.num_ops());
+  if (args.has("predictor")) {
+    predictor = io::load_predictor(args.get("predictor"));
+  } else {
+    hw::HardwareSimulator device(
+        device_by_name(args.get("device", "xavier")), 8, seed);
+    util::Rng rng(seed + 1);
+    std::fprintf(stderr,
+                 "no --predictor given; training one on %zu samples...\n",
+                 samples);
+    const predictors::MeasurementDataset data =
+        predictors::build_measurement_dataset(
+            space, device, samples, predictors::Metric::kLatencyMs, rng);
+    predictors::MlpTrainConfig train_config;
+    train_config.epochs = epochs;
+    train_config.batch_size = 128;
+    predictor.train(data, train_config);
+  }
+
+  util::Rng pool_rng(seed + 2);
+  const std::vector<space::Architecture> pool =
+      serve::random_architecture_pool(space, pool_size, pool_rng);
+  const serve::ZipfSampler zipf(pool.size(), zipf_s);
+
+  std::fprintf(stderr,
+               "load: %zu clients x %zu requests over %zu architectures "
+               "(zipf s=%.2f)\n",
+               clients, requests / clients, pool.size(), zipf_s);
+
+  const bool with_baseline = args.get("baseline", "1") != "0";
+  serve::LoadResult baseline;
+  if (with_baseline) {
+    baseline = serve::run_sequential_baseline(predictor, pool, zipf,
+                                              requests, 99);
+  }
+
+  serve::PredictionService service(predictor, config);
+  const serve::LoadResult load = serve::run_closed_loop(
+      service, pool, zipf, clients, requests / clients, 99);
+  const serve::ServiceStats stats = service.stats();
+  service.shutdown();
+
+  util::Table table({"metric", "value"});
+  table.add_row({"throughput", util::fmt_double(load.qps(), 0) + " q/s"});
+  if (with_baseline) {
+    table.add_row({"sequential baseline",
+                   util::fmt_double(baseline.qps(), 0) + " q/s"});
+    table.add_row({"speedup",
+                   util::fmt_double(load.qps() / baseline.qps(), 1) + "x"});
+  }
+  table.add_row({"cache hit rate",
+                 util::fmt_pct(100.0 * stats.cache.hit_rate()) + " %"});
+  table.add_row({"latency p50",
+                 util::fmt_double(stats.latency_us.p50, 0) + " us"});
+  table.add_row({"latency p95",
+                 util::fmt_double(stats.latency_us.p95, 0) + " us"});
+  table.add_row({"latency p99",
+                 util::fmt_double(stats.latency_us.p99, 0) + " us"});
+  table.add_row({"mean batch size",
+                 util::fmt_double(stats.batch_size.mean(), 1)});
+  table.add_row({"mean queue depth",
+                 util::fmt_double(stats.queue_depth.mean(), 1)});
+  table.add_row({"batches", std::to_string(stats.batches)});
+  table.print(std::cout);
+  return 0;
+}
+
 void print_usage() {
   std::printf(
       "usage: lightnas <command> [--flag value ...]\n"
@@ -275,7 +367,11 @@ void print_usage() {
       "                  [--resume DIR/checkpoint.json]\n"
       "                  --out result.json\n"
       "  show            --result F | --arch \"0,1,...\" [--device D]\n"
-      "  predict         --predictor F --arch \"0,1,...\"\n");
+      "  predict         --predictor F --arch \"0,1,...\"\n"
+      "  serve-bench     [--predictor F] [--clients N] [--requests N]\n"
+      "                  [--workers N] [--batch B] [--cache N]\n"
+      "                  [--queue N] [--pool N] [--zipf S]\n"
+      "                  [--baseline 0|1]\n");
 }
 
 }  // namespace
@@ -295,6 +391,7 @@ int main(int argc, char** argv) {
     if (command == "search") return cmd_search(args);
     if (command == "show") return cmd_show(args);
     if (command == "predict") return cmd_predict(args);
+    if (command == "serve-bench") return cmd_serve_bench(args);
     if (command == "help" || command == "--help") {
       print_usage();
       return 0;
