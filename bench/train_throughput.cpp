@@ -1,0 +1,245 @@
+// Training-stack throughput: predictor training and search steps,
+// serial vs. 2/4/8 parallel GEMM lanes.
+//
+// Two claims are checked, with different strictness:
+//  - Determinism (always enforced, any hardware): the threaded training
+//    path must produce bit-identical weights and predictions to the
+//    serial path, for every measured thread count. A mismatch exits 1.
+//  - Speedup (enforced only when the machine can express it): with
+//    >= 4 hardware threads available, predictor training at 4 lanes
+//    must be >= 2x faster than serial, else exit 1. On smaller machines
+//    (CI containers are often 1-2 cores) the speedup gate is reported
+//    as SKIPPED — a 4-lane run on one core cannot beat serial by
+//    construction — while the determinism contract still runs in full.
+//
+// `--smoke` (used by the ctest registration, together with
+// LIGHTNAS_FAST=1) shrinks the workload to seconds and checks
+// determinism only.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/lightnas.hpp"
+#include "hw/cost_model.hpp"
+#include "nn/parallel.hpp"
+#include "predictors/mlp_predictor.hpp"
+#include "util/table.hpp"
+
+using namespace lightnas;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic synthetic campaign: random architectures priced by the
+/// analytic cost model. Measurement noise is irrelevant for throughput,
+/// so this keeps dataset construction off the clock.
+predictors::MeasurementDataset make_dataset(const space::SearchSpace& space,
+                                            std::size_t count) {
+  const hw::CostModel model(hw::DeviceProfile::jetson_xavier_maxn(), 8);
+  util::Rng rng(1234);
+  predictors::MeasurementDataset data;
+  data.architectures.reserve(count);
+  data.encodings.reserve(count);
+  data.targets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    space::Architecture arch = space.random_architecture(rng);
+    data.encodings.push_back(arch.encode_one_hot(space.num_ops()));
+    data.targets.push_back(model.network_latency_ms(space, arch));
+    data.architectures.push_back(std::move(arch));
+  }
+  return data;
+}
+
+struct TrainRun {
+  double seconds = 0.0;
+  predictors::MlpPredictor::State state;
+  std::vector<double> probe;
+};
+
+TrainRun run_training(const space::SearchSpace& space,
+                      const predictors::MeasurementDataset& data,
+                      std::size_t epochs,
+                      const nn::ParallelContext* parallel) {
+  predictors::MlpPredictor predictor(space.num_layers(), space.num_ops(),
+                                     /*seed=*/7);
+  predictors::MlpTrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 128;
+  config.parallel = parallel;
+  const double start = now_seconds();
+  predictor.train(data, config);
+  TrainRun run;
+  run.seconds = now_seconds() - start;
+  run.state = predictor.export_state();
+  const std::vector<space::Architecture> probe_archs(
+      data.architectures.begin(),
+      data.architectures.begin() +
+          static_cast<std::ptrdiff_t>(std::min<std::size_t>(64, data.size())));
+  run.probe = parallel != nullptr
+                  ? predictor.predict_batch(probe_archs, *parallel)
+                  : predictor.predict_batch(probe_archs);
+  return run;
+}
+
+bool states_identical(const predictors::MlpPredictor::State& a,
+                      const predictors::MlpPredictor::State& b) {
+  if (a.tensors.size() != b.tensors.size()) return false;
+  for (std::size_t i = 0; i < a.tensors.size(); ++i) {
+    if (a.tensors[i] != b.tensors[i]) return false;  // exact float equality
+  }
+  return a.target_mean == b.target_mean && a.target_std == b.target_std;
+}
+
+struct SearchRun {
+  double seconds = 0.0;
+  std::string arch;
+  double predicted_cost = 0.0;
+};
+
+SearchRun run_search(const space::SearchSpace& space,
+                     const predictors::MlpPredictor& predictor,
+                     const nn::SyntheticTask& task, bool smoke,
+                     const nn::ParallelContext* parallel) {
+  core::LightNasConfig config;
+  config.seed = 3;
+  config.epochs = smoke ? 2 : 6;
+  config.warmup_epochs = 1;
+  config.w_steps_per_epoch = smoke ? 8 : 32;
+  config.alpha_steps_per_epoch = smoke ? 4 : 12;
+  config.batch_size = smoke ? 16 : 48;
+  config.target = 24.0;
+  config.parallel = parallel;
+  core::LightNas engine(space, predictor, task, core::SupernetConfig{},
+                        config);
+  const double start = now_seconds();
+  const core::SearchResult result = engine.search();
+  SearchRun run;
+  run.seconds = now_seconds() - start;
+  run.arch = result.architecture.serialize();
+  run.predicted_cost = result.final_predicted_cost;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  smoke = smoke || bench::fast_mode();
+
+  bench::banner("train_throughput",
+                "parallel blocked-GEMM training engine (serial vs threads)");
+
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const std::size_t samples = smoke ? 768 : 6000;
+  const std::size_t epochs = smoke ? 4 : 30;
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4, 8};
+
+  std::fprintf(stderr, "dataset: %zu synthetic measurements\n", samples);
+  const predictors::MeasurementDataset data = make_dataset(space, samples);
+
+  // --- predictor training ---------------------------------------------
+  const TrainRun serial = run_training(space, data, epochs, nullptr);
+  std::fprintf(stderr, "serial training: %.2fs (%zu epochs)\n",
+               serial.seconds, epochs);
+
+  util::Table table({"threads", "train (s)", "speedup", "bit-identical"});
+  table.add_row({"1 (serial)", util::fmt_double(serial.seconds, 2), "1.0",
+                 "reference"});
+
+  bool identical = true;
+  double speedup_at_4 = 0.0;
+  std::vector<std::unique_ptr<nn::ParallelContext>> contexts;
+  for (const std::size_t threads : thread_counts) {
+    nn::ParallelConfig pc;
+    pc.threads = threads;
+    contexts.push_back(std::make_unique<nn::ParallelContext>(pc));
+    const TrainRun run =
+        run_training(space, data, epochs, contexts.back().get());
+    const bool same = states_identical(serial.state, run.state) &&
+                      serial.probe == run.probe;
+    identical = identical && same;
+    const double speedup = serial.seconds / run.seconds;
+    if (threads == 4) speedup_at_4 = speedup;
+    table.add_row({std::to_string(threads),
+                   util::fmt_double(run.seconds, 2),
+                   util::fmt_double(speedup, 2), same ? "yes" : "NO"});
+  }
+  std::printf("\npredictor training (%zu samples, %zu epochs):\n", samples,
+              epochs);
+  table.print(std::cout);
+
+  // --- search steps ----------------------------------------------------
+  predictors::MlpPredictor predictor =
+      predictors::MlpPredictor::from_state(serial.state);
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = smoke ? 512 : 4096;
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+
+  const SearchRun search_serial =
+      run_search(space, predictor, task, smoke, nullptr);
+  nn::ParallelConfig search_pc;
+  search_pc.threads = 4;
+  const nn::ParallelContext search_ctx(search_pc);
+  const SearchRun search_parallel =
+      run_search(space, predictor, task, smoke, &search_ctx);
+  const bool search_same =
+      search_serial.arch == search_parallel.arch &&
+      search_serial.predicted_cost == search_parallel.predicted_cost;
+  identical = identical && search_same;
+
+  util::Table search_table({"config", "search (s)", "speedup", "derived"});
+  search_table.add_row({"serial",
+                        util::fmt_double(search_serial.seconds, 2), "1.0",
+                        "reference"});
+  search_table.add_row(
+      {"4 threads", util::fmt_double(search_parallel.seconds, 2),
+       util::fmt_double(search_serial.seconds / search_parallel.seconds, 2),
+       search_same ? "bit-identical" : "MISMATCH"});
+  std::printf("\nsearch steps:\n");
+  search_table.print(std::cout);
+
+  // --- verdict ---------------------------------------------------------
+  if (!identical) {
+    std::printf("\nFAIL: threaded results are not bit-identical to "
+                "serial\n");
+    return 1;
+  }
+  std::printf("\ndeterminism: all threaded runs bit-identical to serial\n");
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  if (smoke) {
+    std::printf("speedup gate: SKIPPED (smoke mode)\n");
+    return 0;
+  }
+  if (hw_threads < 4) {
+    std::printf(
+        "speedup gate: SKIPPED (%u hardware thread(s); a 4-lane run "
+        "cannot beat serial on this machine)\n",
+        hw_threads);
+    return 0;
+  }
+  std::printf("speedup at 4 threads: %.2fx (required >= 2.0x)\n",
+              speedup_at_4);
+  if (speedup_at_4 < 2.0) {
+    std::printf("FAIL: parallel speedup below 2x\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

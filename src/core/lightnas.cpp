@@ -136,6 +136,11 @@ LightNas::LightNas(const space::SearchSpace& space,
 SearchResult LightNas::search() { return search(SearchHooks{}); }
 
 SearchResult LightNas::search(const SearchHooks& hooks) {
+  // All tensor kernels below (supernet forwards, predictor evaluation,
+  // every backward pass) dispatch through this scope; the trajectory is
+  // bit-identical for any thread count.
+  const nn::ParallelScope parallel_scope(config_.parallel);
+
   const std::size_t num_layers = space_->num_layers();
   const std::size_t num_ops = space_->num_ops();
   const std::size_t num_constraints = constraints_.size();

@@ -8,6 +8,7 @@
 #include "core/gumbel.hpp"
 #include "core/supernet.hpp"
 #include "nn/data.hpp"
+#include "nn/parallel.hpp"
 #include "nn/tensor.hpp"
 #include "predictors/predictor.hpp"
 #include "space/architecture.hpp"
@@ -96,6 +97,13 @@ struct LightNasConfig {
 
   std::uint64_t seed = 0;
   bool log_progress = false;
+
+  /// Parallel-kernel context for the bi-level loop's GEMMs (supernet
+  /// forwards, predictor evaluation, backward passes); null uses
+  /// ParallelContext::current(). The search trajectory is bit-identical
+  /// for every thread count, so checkpoints and resumes interoperate
+  /// freely across --threads settings.
+  const nn::ParallelContext* parallel = nullptr;
 
   WatchdogConfig watchdog;
 

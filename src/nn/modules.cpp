@@ -33,10 +33,14 @@ VarPtr Linear::forward(const VarPtr& x) const {
   return ops::add_bias(ops::matmul(x, weight_), bias_);
 }
 
-Tensor Linear::forward_inference(const Tensor& x) const {
+Tensor Linear::forward_inference(const Tensor& x, bool fuse_relu) const {
   assert(x.cols() == in_);
   Tensor out = matmul(x, weight_->value);
-  out.add_row_inplace(bias_->value);
+  if (fuse_relu) {
+    out.add_row_relu_inplace(bias_->value);
+  } else {
+    out.add_row_inplace(bias_->value);
+  }
   return out;
 }
 
@@ -66,8 +70,10 @@ VarPtr Mlp::forward(const VarPtr& x) const {
 Tensor Mlp::forward_inference(const Tensor& x) const {
   Tensor h = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].forward_inference(h);
-    if (i + 1 < layers_.size()) h.relu_inplace();
+    // Hidden layers take the fused bias+ReLU kernel (one memory pass);
+    // the output layer stays linear.
+    h = layers_[i].forward_inference(h, /*fuse_relu=*/i + 1 <
+                                            layers_.size());
   }
   return h;
 }

@@ -37,8 +37,12 @@ class Linear : public Module {
   /// Graph-free batched forward (B x in -> B x out). Bit-identical to
   /// `forward` — same matmul kernel, same accumulation order — without
   /// allocating autograd nodes; safe to call concurrently from many
-  /// threads (touches only the immutable parameter values).
-  Tensor forward_inference(const Tensor& x) const;
+  /// threads (touches only the immutable parameter values). With
+  /// `fuse_relu` the bias add and ReLU run as one fused kernel (same
+  /// math, one memory pass). Kernels dispatch over
+  /// ParallelContext::current() and stay bit-identical at any thread
+  /// count.
+  Tensor forward_inference(const Tensor& x, bool fuse_relu = false) const;
   std::vector<VarPtr> parameters() const override;
 
   std::size_t in_features() const { return in_; }

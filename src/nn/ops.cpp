@@ -81,10 +81,7 @@ VarPtr add_bias(const VarPtr& x, const VarPtr& bias) {
   assert(bias->value.rows() == 1);
   assert(bias->value.cols() == x->value.cols());
   Tensor out = x->value;
-  const std::size_t n = out.cols();
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    for (std::size_t c = 0; c < n; ++c) out.at(r, c) += bias->value[c];
-  }
+  out.add_row_inplace(bias->value);
   return make_node(std::move(out), {x, bias}, [x, bias](Var& node) {
     accumulate(x, node.grad);
     Tensor gb = Tensor::zeros(1, node.grad.cols());
@@ -136,7 +133,7 @@ VarPtr mul_scalar(const VarPtr& x, const VarPtr& scalar) {
 
 VarPtr relu(const VarPtr& x) {
   Tensor out = x->value;
-  for (auto& v : out.data()) v = std::max(v, 0.0f);
+  out.relu_inplace();
   return make_node(std::move(out), {x}, [x](Var& node) {
     Tensor g = node.grad;
     for (std::size_t i = 0; i < g.size(); ++i) {

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace lightnas::util {
+class ThreadPool;
+}
+
+namespace lightnas::nn {
+
+/// Tuning knobs of the parallel dense-kernel layer.
+struct ParallelConfig {
+  /// Total compute lanes for a dispatched kernel, including the calling
+  /// thread. 1 means fully serial (no pool is created).
+  std::size_t threads = 1;
+  /// Cache-block edge (the k-dimension tile of the blocked GEMM
+  /// kernels). Must be >= 1.
+  std::size_t block = 64;
+  /// Kernels whose work estimate (FLOPs for GEMM, elements for the
+  /// fused elementwise kernels) falls below this stay serial: the
+  /// dispatch latch costs a few microseconds, which dwarfs a tiny
+  /// kernel. Dispatch additionally requires >= 2 output rows.
+  std::size_t min_work = 1u << 16;
+};
+
+/// Shared parallel-execution context for the nn kernels: a thread pool
+/// plus the dispatch policy. One context is meant to be shared by a
+/// whole pipeline (trainer, search loop, serving workers); concurrent
+/// `for_rows` calls from different threads are safe and simply interleave
+/// their chunks on the same workers.
+///
+/// Determinism contract: `for_rows(rows, fn)` always cuts [0, rows) into
+/// the same `min(threads, rows)` contiguous chunks, each chunk is
+/// executed by exactly one thread, and no two chunks share output rows.
+/// Every output element is therefore produced by one serial kernel
+/// invocation with a fixed accumulation order — results are bit-identical
+/// to the serial path for every thread count, with no atomics or
+/// nondeterministic reductions anywhere.
+class ParallelContext {
+ public:
+  /// Serial context (threads = 1).
+  ParallelContext();
+  explicit ParallelContext(const ParallelConfig& config);
+  ~ParallelContext();
+
+  ParallelContext(const ParallelContext&) = delete;
+  ParallelContext& operator=(const ParallelContext&) = delete;
+
+  std::size_t threads() const { return config_.threads; }
+  std::size_t block() const { return config_.block; }
+  const ParallelConfig& config() const { return config_; }
+
+  /// True when a kernel with `rows` output rows and `work` scalar ops
+  /// should be dispatched on the pool. Always false inside a worker
+  /// chunk (nested kernels run serial rather than deadlocking the pool).
+  bool should_parallelize(std::size_t rows, std::size_t work) const;
+
+  /// Run fn(begin, end) over a fixed contiguous partition of [0, rows).
+  /// The caller executes the first chunk itself; the call returns only
+  /// after every chunk has finished. Falls back to fn(0, rows) when the
+  /// context is serial or the caller is already inside a chunk.
+  void for_rows(std::size_t rows,
+                const std::function<void(std::size_t, std::size_t)>& fn)
+      const;
+
+  /// The context the kernels consult when none is passed explicitly:
+  /// the innermost active ParallelScope on this thread, else global().
+  static const ParallelContext& current();
+
+  /// Process-wide default context; serial until configured. Reconfigure
+  /// only from single-threaded startup code (the CLI's --threads /
+  /// --gemm-block flags) — swapping the pool under running kernels is a
+  /// race by construction.
+  static ParallelContext& global();
+  static void configure_global(const ParallelConfig& config);
+
+ private:
+  ParallelConfig config_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+/// RAII thread-local override: while alive, ParallelContext::current()
+/// on this thread returns *ctx. A null ctx is a no-op, so call sites can
+/// thread an optional "const ParallelContext*" config field through
+/// without branching.
+class ParallelScope {
+ public:
+  explicit ParallelScope(const ParallelContext* ctx);
+  ~ParallelScope();
+
+  ParallelScope(const ParallelScope&) = delete;
+  ParallelScope& operator=(const ParallelScope&) = delete;
+
+ private:
+  const ParallelContext* previous_ = nullptr;
+  bool active_ = false;
+};
+
+}  // namespace lightnas::nn

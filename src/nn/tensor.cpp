@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "nn/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace lightnas::nn {
@@ -89,16 +90,69 @@ void Tensor::axpy_inplace(float s, const Tensor& other) {
 }
 
 void Tensor::add_row_inplace(const Tensor& row) {
+  add_row_inplace(row, ParallelContext::current());
+}
+
+void Tensor::add_row_inplace(const Tensor& row, const ParallelContext& ctx) {
   assert(row.rows() == 1 && row.cols() == cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      data_[r * cols_ + c] += row.data_[c];
+  const float* bias = row.data_.data();
+  const std::size_t cols = cols_;
+  float* data = data_.data();
+  const auto body = [data, bias, cols](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* out = data + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) out[c] += bias[c];
     }
+  };
+  if (ctx.should_parallelize(rows_, size())) {
+    ctx.for_rows(rows_, body);
+  } else {
+    body(0, rows_);
   }
 }
 
 void Tensor::relu_inplace() {
-  for (auto& v : data_) v = std::max(v, 0.0f);
+  relu_inplace(ParallelContext::current());
+}
+
+void Tensor::relu_inplace(const ParallelContext& ctx) {
+  const std::size_t cols = cols_;
+  float* data = data_.data();
+  const auto body = [data, cols](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0 * cols; i < r1 * cols; ++i) {
+      data[i] = std::max(data[i], 0.0f);
+    }
+  };
+  if (ctx.should_parallelize(rows_, size())) {
+    ctx.for_rows(rows_, body);
+  } else {
+    body(0, rows_);
+  }
+}
+
+void Tensor::add_row_relu_inplace(const Tensor& row) {
+  add_row_relu_inplace(row, ParallelContext::current());
+}
+
+void Tensor::add_row_relu_inplace(const Tensor& row,
+                                  const ParallelContext& ctx) {
+  assert(row.rows() == 1 && row.cols() == cols_);
+  const float* bias = row.data_.data();
+  const std::size_t cols = cols_;
+  float* data = data_.data();
+  const auto body = [data, bias, cols](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* out = data + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) {
+        out[c] = std::max(out[c] + bias[c], 0.0f);
+      }
+    }
+  };
+  if (ctx.should_parallelize(rows_, size())) {
+    ctx.for_rows(rows_, body);
+  } else {
+    body(0, rows_);
+  }
 }
 
 Tensor Tensor::reshaped(std::size_t rows, std::size_t cols) const {
@@ -146,52 +200,193 @@ std::string Tensor::shape_string() const {
   return oss.str();
 }
 
+namespace {
+
+// ---------------------------------------------------------------------
+// Blocked GEMM kernels.
+//
+// All three variants share one determinism contract: for every output
+// element C(i, j), products are accumulated in strictly ascending-p
+// order with a single accumulation chain. Cache blocking tiles the k
+// dimension (so a block of B rows stays hot across several C rows) and
+// register blocking unrolls p in pairs / keeps several independent dot
+// accumulators — neither changes the per-element accumulation order, so
+// the blocked kernels are bit-identical to the naive triple loop, and a
+// row range [r0, r1) computes exactly what the full serial kernel would
+// compute for those rows. That is what lets ParallelContext::for_rows
+// split rows across threads with exact float equality to the serial
+// path.
+//
+// Note there is deliberately NO zero-operand skip: `0 * NaN` must stay
+// NaN and `0 * inf` must stay NaN for IEEE propagation (the old kernels
+// silently dropped non-finite values through an `av == 0` fast path,
+// which let poisoned activations masquerade as healthy zeros).
+// ---------------------------------------------------------------------
+
+/// C(r0..r1, :) += A(r0..r1, :) * B for row-major A (m x k), B (k x n).
+void matmul_rows(const float* a, const float* b, float* c, std::size_t k,
+                 std::size_t n, std::size_t r0, std::size_t r1,
+                 std::size_t kc) {
+  for (std::size_t pb = 0; pb < k; pb += kc) {
+    const std::size_t pe = std::min(pb + kc, k);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      std::size_t p = pb;
+      for (; p + 1 < pe; p += 2) {
+        const float a0 = arow[p];
+        const float a1 = arow[p + 1];
+        const float* b0 = b + p * n;
+        const float* b1 = b0 + n;
+        for (std::size_t j = 0; j < n; ++j) {
+          // Left-to-right: (crow + a0*b0) + a1*b1 — the same chain the
+          // one-p-at-a-time loop produces.
+          crow[j] = crow[j] + a0 * b0[j] + a1 * b1[j];
+        }
+      }
+      for (; p < pe; ++p) {
+        const float av = arow[p];
+        const float* brow = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// C(i0..i1, :) += A^T(i0..i1, :) * B for row-major A (k x m), B (k x n);
+/// row i of C reads column i of A (stride m).
+void matmul_tn_rows(const float* a, const float* b, float* c,
+                    std::size_t k, std::size_t m, std::size_t n,
+                    std::size_t i0, std::size_t i1, std::size_t kc) {
+  for (std::size_t pb = 0; pb < k; pb += kc) {
+    const std::size_t pe = std::min(pb + kc, k);
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* crow = c + i * n;
+      std::size_t p = pb;
+      for (; p + 1 < pe; p += 2) {
+        const float a0 = a[p * m + i];
+        const float a1 = a[(p + 1) * m + i];
+        const float* b0 = b + p * n;
+        const float* b1 = b0 + n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] = crow[j] + a0 * b0[j] + a1 * b1[j];
+        }
+      }
+      for (; p < pe; ++p) {
+        const float av = a[p * m + i];
+        const float* brow = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// C(r0..r1, :) = A(r0..r1, :) * B^T for row-major A (m x k), B (n x k).
+/// Four independent dot accumulators per j-tile; each is its own
+/// ascending-p chain, so per-element order matches the naive dot.
+void matmul_nt_rows(const float* a, const float* b, float* c,
+                    std::size_t k, std::size_t n, std::size_t r0,
+                    std::size_t r1) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + 3 < n; j += 4) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        d0 += av * b0[p];
+        d1 += av * b1[p];
+        d2 += av * b2[p];
+        d3 += av * b3[p];
+      }
+      crow[j] = d0;
+      crow[j + 1] = d1;
+      crow[j + 2] = d2;
+      crow[j + 3] = d3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * k;
+      float dot = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) dot += arow[p] * brow[p];
+      crow[j] = dot;
+    }
+  }
+}
+
+}  // namespace
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  return matmul(a, b, ParallelContext::current());
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, const ParallelContext& ctx) {
   assert(a.cols() == b.rows());
   Tensor c(a.rows(), b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = a.at(i, p);
-      if (av == 0.0f) continue;
-      const float* brow = &b.data()[p * n];
-      float* crow = &c.data()[i * n];
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  const std::size_t kc = ctx.block();
+  const auto body = [pa, pb, pc, k, n, kc](std::size_t r0, std::size_t r1) {
+    matmul_rows(pa, pb, pc, k, n, r0, r1, kc);
+  };
+  if (ctx.should_parallelize(m, 2 * m * k * n)) {
+    ctx.for_rows(m, body);
+  } else {
+    body(0, m);
   }
   return c;
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  return matmul_tn(a, b, ParallelContext::current());
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b,
+                 const ParallelContext& ctx) {
   assert(a.rows() == b.rows());
   Tensor c(a.cols(), b.cols());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = &a.data()[p * m];
-    const float* brow = &b.data()[p * n];
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = &c.data()[i * n];
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  const std::size_t kc = ctx.block();
+  const auto body = [pa, pb, pc, k, m, n, kc](std::size_t i0,
+                                              std::size_t i1) {
+    matmul_tn_rows(pa, pb, pc, k, m, n, i0, i1, kc);
+  };
+  if (ctx.should_parallelize(m, 2 * m * k * n)) {
+    ctx.for_rows(m, body);
+  } else {
+    body(0, m);
   }
   return c;
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  return matmul_nt(a, b, ParallelContext::current());
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b,
+                 const ParallelContext& ctx) {
   assert(a.cols() == b.cols());
   Tensor c(a.rows(), b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = &a.data()[i * k];
-    float* crow = &c.data()[i * n];
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = &b.data()[j * k];
-      float dot = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) dot += arow[p] * brow[p];
-      crow[j] = dot;
-    }
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  const auto body = [pa, pb, pc, k, n](std::size_t r0, std::size_t r1) {
+    matmul_nt_rows(pa, pb, pc, k, n, r0, r1);
+  };
+  if (ctx.should_parallelize(m, 2 * m * k * n)) {
+    ctx.for_rows(m, body);
+  } else {
+    body(0, m);
   }
   return c;
 }

@@ -10,6 +10,8 @@ class Rng;
 
 namespace lightnas::nn {
 
+class ParallelContext;
+
 /// Dense row-major 2-D float tensor.
 ///
 /// The whole reproduction only needs rank-2 math (batch x features):
@@ -57,9 +59,18 @@ class Tensor {
   /// this += s * other (axpy), the core optimizer update primitive.
   void axpy_inplace(float s, const Tensor& other);
   /// Broadcast-add a 1 x cols row over every row (bias application).
+  /// The no-context overloads dispatch on ParallelContext::current();
+  /// results are bit-identical for every thread count.
   void add_row_inplace(const Tensor& row);
+  void add_row_inplace(const Tensor& row, const ParallelContext& ctx);
   /// Elementwise max(v, 0) — the inference-path counterpart of ops::relu.
   void relu_inplace();
+  void relu_inplace(const ParallelContext& ctx);
+  /// Fused bias + ReLU: v = max(v + row[c], 0), one pass over memory.
+  /// Identical math to add_row_inplace followed by relu_inplace; the
+  /// hidden-layer hot path of Mlp::forward_inference.
+  void add_row_relu_inplace(const Tensor& row);
+  void add_row_relu_inplace(const Tensor& row, const ParallelContext& ctx);
 
   /// Reshape without copying; total size must be preserved.
   Tensor reshaped(std::size_t rows, std::size_t cols) const;
@@ -78,11 +89,24 @@ class Tensor {
   std::vector<float> data_;
 };
 
+/// Cache-blocked, register-blocked GEMM kernels with full IEEE
+/// NaN/Inf propagation (no zero-operand skips). The one-argument-pair
+/// forms dispatch on ParallelContext::current(); the explicit-context
+/// forms take the context to use. For every context and thread count
+/// the result is bit-identical to the serial kernel: rows are
+/// partitioned into fixed contiguous chunks and every output element
+/// keeps a single ascending-k accumulation chain (see parallel.hpp).
+
 /// C = A * B. Shapes: (m x k) * (k x n) -> (m x n).
 Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor matmul(const Tensor& a, const Tensor& b, const ParallelContext& ctx);
 /// C = A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n).
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
+Tensor matmul_tn(const Tensor& a, const Tensor& b,
+                 const ParallelContext& ctx);
 /// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+Tensor matmul_nt(const Tensor& a, const Tensor& b,
+                 const ParallelContext& ctx);
 
 }  // namespace lightnas::nn

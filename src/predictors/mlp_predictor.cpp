@@ -7,6 +7,7 @@
 
 #include "nn/ops.hpp"
 #include "nn/optim.hpp"
+#include "nn/parallel.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -27,6 +28,10 @@ double MlpPredictor::train(const MeasurementDataset& data,
                            const MlpTrainConfig& config) {
   assert(data.size() >= 2);
   assert(config.batch_size > 0);
+
+  // Route every kernel in the loop (forward, backward, bias/ReLU)
+  // through the configured parallel context for the duration of train().
+  const nn::ParallelScope parallel_scope(config.parallel);
 
   target_mean_ = util::mean(data.targets);
   target_std_ = std::max(util::stddev(data.targets), 1e-6);
@@ -99,6 +104,13 @@ double MlpPredictor::predict_encoding(
 }
 
 std::vector<double> MlpPredictor::predict_batch(
+    const std::vector<space::Architecture>& archs,
+    const nn::ParallelContext& ctx) const {
+  const nn::ParallelScope parallel_scope(&ctx);
+  return predict_batch(archs);
+}
+
+std::vector<double> MlpPredictor::predict_batch(
     const std::vector<space::Architecture>& archs) const {
   assert(trained_);
   if (archs.empty()) return {};
@@ -149,6 +161,12 @@ MlpPredictor MlpPredictor::from_state(const State& state) {
   const std::vector<nn::VarPtr> params = predictor.mlp_->parameters();
   if (params.size() != state.tensors.size()) {
     throw std::runtime_error("predictor state: wrong tensor count");
+  }
+  // shapes is parallel to tensors; a blob with fewer shape entries than
+  // tensors would otherwise read state.shapes[i] out of bounds below.
+  if (state.shapes.size() != state.tensors.size()) {
+    throw std::runtime_error(
+        "predictor state: shape/tensor count mismatch");
   }
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (params[i]->value.rows() != state.shapes[i].first ||

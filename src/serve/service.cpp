@@ -106,6 +106,9 @@ void PredictionService::fulfill(Request& request, double value) {
 }
 
 void PredictionService::worker_loop() {
+  // Install the shared GEMM context for every batched forward this
+  // worker runs (no-op when config_.parallel is null).
+  const nn::ParallelScope parallel_scope(config_.parallel);
   const bool use_cache = config_.cache_capacity > 0;
   for (;;) {
     std::vector<Request> batch;

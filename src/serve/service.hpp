@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "nn/parallel.hpp"
 #include "predictors/predictor.hpp"
 #include "serve/cache.hpp"
 #include "space/architecture.hpp"
@@ -31,6 +32,12 @@ struct ServiceConfig {
   /// Total LRU entries across shards; 0 disables caching entirely.
   std::size_t cache_capacity = 1 << 16;
   std::size_t cache_shards = 16;
+  /// Parallel-kernel context the workers install for their batched
+  /// forwards (the GEMM pool is shared across workers; dispatches
+  /// interleave safely). Null leaves the per-thread default — serial
+  /// unless the process configured a global pool. Predictions are
+  /// bit-identical either way.
+  const nn::ParallelContext* parallel = nullptr;
 };
 
 /// Point-in-time service telemetry. Latencies are end-to-end

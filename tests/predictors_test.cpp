@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "nn/ops.hpp"
 #include "predictors/lut_predictor.hpp"
 #include "predictors/mlp_predictor.hpp"
@@ -85,6 +87,36 @@ TEST_F(PredictorTest, MlpForwardVarMatchesPredict) {
   std::copy(enc.begin(), enc.end(), x.data().begin());
   const nn::VarPtr out = mlp.forward_var(nn::make_const(std::move(x)));
   EXPECT_NEAR(out->value.item(), mlp.predict(arch), 1e-3);
+}
+
+// Regression: a state blob whose shapes array is shorter than its
+// tensors array used to index state.shapes[i] out of bounds during
+// reconstruction. Every count mismatch must be a clean runtime_error.
+TEST_F(PredictorTest, FromStateRejectsInconsistentStateBlobs) {
+  const MlpPredictor predictor(space_.num_layers(), space_.num_ops(), 7);
+  const MlpPredictor::State good = predictor.export_state();
+  ASSERT_EQ(good.tensors.size(), good.shapes.size());
+
+  // Round trip of a consistent blob works.
+  EXPECT_NO_THROW(MlpPredictor::from_state(good));
+
+  MlpPredictor::State missing_shape = good;
+  missing_shape.shapes.pop_back();
+  EXPECT_THROW(MlpPredictor::from_state(missing_shape),
+               std::runtime_error);
+
+  MlpPredictor::State no_shapes = good;
+  no_shapes.shapes.clear();
+  EXPECT_THROW(MlpPredictor::from_state(no_shapes), std::runtime_error);
+
+  MlpPredictor::State missing_tensor = good;
+  missing_tensor.tensors.pop_back();
+  EXPECT_THROW(MlpPredictor::from_state(missing_tensor),
+               std::runtime_error);
+
+  MlpPredictor::State bad_shape = good;
+  bad_shape.shapes.front().first += 1;
+  EXPECT_THROW(MlpPredictor::from_state(bad_shape), std::runtime_error);
 }
 
 TEST_F(PredictorTest, MlpIsDifferentiableWrtEncoding) {

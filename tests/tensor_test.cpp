@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "nn/tensor.hpp"
 #include "util/rng.hpp"
 
@@ -109,6 +112,55 @@ TEST(Tensor, MatmulTransposedVariantsAgree) {
   for (std::size_t i = 0; i < c.size(); ++i) {
     EXPECT_NEAR(c3[i], c[i], 1e-4f);
   }
+}
+
+// Regression for the NaN-dropping fast path: the old kernels skipped
+// `av == 0.0f` operands entirely, so a NaN/Inf in the other operand was
+// silently swallowed (0 * NaN must be NaN, 0 * inf must be NaN). All
+// three variants must keep full IEEE propagation.
+TEST(Tensor, MatmulPropagatesNaNThroughZeroOperands) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+
+  // C(0,0) = 0 * NaN + 1 * 5: NaN must survive the zero coefficient.
+  const Tensor a = Tensor::from_rows({{0.0f, 1.0f}});
+  const Tensor b = Tensor::from_rows({{nan}, {5.0f}});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+
+  // Same contraction through matmul_tn (a stored transposed, 2x1).
+  const Tensor a_t = Tensor::from_rows({{0.0f}, {1.0f}});
+  const Tensor c_tn = matmul_tn(a_t, b);
+  EXPECT_TRUE(std::isnan(c_tn.at(0, 0)));
+
+  // And through matmul_nt (b stored transposed, 1x2).
+  const Tensor b_t = Tensor::from_rows({{nan, 5.0f}});
+  const Tensor c_nt = matmul_nt(a, b_t);
+  EXPECT_TRUE(std::isnan(c_nt.at(0, 0)));
+
+  // 0 * inf is NaN as well — an overflow upstream must not read as a
+  // healthy zero contribution.
+  const Tensor b_inf = Tensor::from_rows({{inf}, {5.0f}});
+  EXPECT_TRUE(std::isnan(matmul(a, b_inf).at(0, 0)));
+
+  // A NaN *coefficient* must poison its whole output row.
+  const Tensor a_nan = Tensor::from_rows({{nan, 0.0f}});
+  const Tensor b_clean = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  const Tensor c_row = matmul(a_nan, b_clean);
+  EXPECT_TRUE(std::isnan(c_row.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c_row.at(0, 1)));
+}
+
+TEST(Tensor, FusedBiasReluMatchesUnfused) {
+  util::Rng rng(9);
+  const Tensor bias = Tensor::randn(1, 8, rng);
+  const Tensor base = Tensor::randn(5, 8, rng);
+  Tensor unfused = base;
+  unfused.add_row_inplace(bias);
+  unfused.relu_inplace();
+  Tensor fused = base;
+  fused.add_row_relu_inplace(bias);
+  EXPECT_EQ(fused.data(), unfused.data());
 }
 
 TEST(Tensor, ShapeString) {

@@ -21,6 +21,7 @@
 
 #include "cli_args.hpp"
 #include "core/lightnas.hpp"
+#include "nn/parallel.hpp"
 #include "eval/accuracy_model.hpp"
 #include "io/serialize.hpp"
 #include "predictors/lut_predictor.hpp"
@@ -32,6 +33,20 @@
 using namespace lightnas;
 
 namespace {
+
+/// Install the process-wide parallel-kernel context from --threads /
+/// --gemm-block. Every command picks it up: predictor training, the
+/// search loop, batched serving forwards. Results are bit-identical to
+/// --threads 1; only wall-clock changes.
+void install_parallel_context(const cli::Args& args) {
+  nn::ParallelConfig config;
+  config.threads = std::max<std::size_t>(args.get_size("threads", 1), 1);
+  config.block = std::max<std::size_t>(
+      args.get_size("gemm-block", config.block), 1);
+  if (config.threads > 1 || args.has("gemm-block")) {
+    nn::ParallelContext::configure_global(config);
+  }
+}
 
 hw::DeviceProfile device_by_name(const std::string& name) {
   if (name == "xavier" || name == "xavier-maxn") {
@@ -351,6 +366,11 @@ void print_usage() {
   std::printf(
       "usage: lightnas <command> [--flag value ...]\n"
       "\n"
+      "global flags (every command):\n"
+      "  --threads N     parallel GEMM lanes for training/search/serving\n"
+      "                  (default 1 = serial; results are bit-identical)\n"
+      "  --gemm-block B  cache-block edge of the blocked GEMM kernels\n"
+      "\n"
       "commands:\n"
       "  devices                                list device profiles\n"
       "  measure         --device D --metric latency|energy --samples N\n"
@@ -384,6 +404,7 @@ int main(int argc, char** argv) {
     }
     const std::string command = argv[1];
     const cli::Args args(argc - 1, argv + 1);
+    install_parallel_context(args);
     if (command == "devices") return cmd_devices();
     if (command == "measure") return cmd_measure(args);
     if (command == "train-predictor") return cmd_train_predictor(args);
