@@ -16,6 +16,8 @@
 // LIGHTNAS_FAST=1) shrinks the workload to seconds and checks
 // determinism only.
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -28,7 +30,9 @@
 #include "common.hpp"
 #include "core/lightnas.hpp"
 #include "hw/cost_model.hpp"
+#include "io/json.hpp"
 #include "nn/parallel.hpp"
+#include "nn/pool.hpp"
 #include "predictors/mlp_predictor.hpp"
 #include "util/table.hpp"
 
@@ -213,6 +217,32 @@ int main(int argc, char** argv) {
        search_same ? "bit-identical" : "MISMATCH"});
   std::printf("\nsearch steps:\n");
   search_table.print(std::cout);
+
+  // --- machine-readable summary ----------------------------------------
+  {
+    const std::size_t steps =
+        epochs * ((samples + 128 - 1) / 128);  // batch_size = 128
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    io::Json out = io::Json::object();
+    out.set("bench", io::Json("train_throughput"));
+    out.set("smoke", io::Json(smoke));
+    out.set("steps_per_s_serial",
+            io::Json(static_cast<double>(steps) / serial.seconds));
+    out.set("speedup_at_4_threads", io::Json(speedup_at_4));
+    out.set("search_s_serial", io::Json(search_serial.seconds));
+    out.set("search_s_4_threads", io::Json(search_parallel.seconds));
+    out.set("bit_identical", io::Json(identical));
+    const nn::PoolStats pool = nn::TensorPool::global_stats();
+    out.set("pool_hit_rate", io::Json(pool.buffer_hit_rate()));
+    out.set("pool_misses",
+            io::Json(static_cast<std::size_t>(pool.buffer_misses)));
+    // ru_maxrss is KiB on Linux.
+    out.set("peak_rss_bytes",
+            io::Json(static_cast<std::size_t>(usage.ru_maxrss) * 1024));
+    io::write_json_file("BENCH_train.json", out);
+    std::printf("\nwrote BENCH_train.json\n");
+  }
 
   // --- verdict ---------------------------------------------------------
   if (!identical) {

@@ -7,7 +7,7 @@ namespace lightnas::core {
 
 nn::Tensor gumbel_noise(std::size_t rows, std::size_t cols,
                         util::Rng& rng) {
-  nn::Tensor noise(rows, cols);
+  nn::Tensor noise = nn::Tensor::uninitialized(rows, cols);
   for (auto& v : noise.data()) {
     v = static_cast<float>(rng.gumbel());
   }

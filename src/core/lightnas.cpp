@@ -9,6 +9,7 @@
 
 #include "nn/ops.hpp"
 #include "nn/optim.hpp"
+#include "nn/pool.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -88,6 +89,17 @@ std::string RunHealth::summary() const {
     out << " campaign_retries=" << measurement_retries
         << " campaign_rejected=" << measurements_rejected;
   }
+  if (pool_buffer_hits + pool_buffer_misses > 0) {
+    const double rate =
+        static_cast<double>(pool_buffer_hits) /
+        static_cast<double>(pool_buffer_hits + pool_buffer_misses);
+    out << " pool{hit_rate=" << rate
+        << " misses=" << pool_buffer_misses
+        << " recycled_mb="
+        << static_cast<double>(pool_bytes_recycled) / (1 << 20)
+        << " tape_hits=" << pool_tape_hits
+        << " tape_misses=" << pool_tape_misses << "}";
+  }
   for (const WatchdogEvent& event : events) {
     out << " [epoch " << event.epoch << ": " << event.reason
         << (event.rolled_back ? " -> rollback" : " -> abort") << "]";
@@ -140,6 +152,15 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
   // every backward pass) dispatch through this scope; the trajectory is
   // bit-identical for any thread count.
   const nn::ParallelScope parallel_scope(config_.parallel);
+  // Memory-reuse layer: buffers, Var nodes, and the backward tape
+  // recycle through the active TensorPool (inherited from the caller
+  // when one is installed). Pure buffer recycling — the trajectory is
+  // bit-identical with pooling on or off.
+  nn::PooledScope pool_scope(config_.pool_tensors ? nn::PoolMode::kInherit
+                                                  : nn::PoolMode::kDisabled);
+  const nn::PoolStats pool_start = config_.pool_tensors
+                                       ? pool_scope.pool().stats()
+                                       : nn::PoolStats{};
 
   const std::size_t num_layers = space_->num_layers();
   const std::size_t num_ops = space_->num_ops();
@@ -621,6 +642,14 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
   }
   result.final_predicted_cost = result.final_costs.front();
   result.final_lambda = result.final_lambdas.front();
+  if (config_.pool_tensors) {
+    const nn::PoolStats used = pool_scope.pool().stats() - pool_start;
+    result.health.pool_buffer_hits = used.buffer_hits;
+    result.health.pool_buffer_misses = used.buffer_misses;
+    result.health.pool_bytes_recycled = used.bytes_recycled;
+    result.health.pool_tape_hits = used.tape_hits;
+    result.health.pool_tape_misses = used.tape_misses;
+  }
   return result;
 }
 

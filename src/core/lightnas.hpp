@@ -105,6 +105,13 @@ struct LightNasConfig {
   /// freely across --threads settings.
   const nn::ParallelContext* parallel = nullptr;
 
+  /// Recycle tensor buffers, autograd nodes, and the backward tape
+  /// through a nn::TensorPool for the duration of the run (inheriting a
+  /// caller-installed pool when one is active). Steady-state steps then
+  /// perform zero allocations. Pooling only changes where buffers live,
+  /// never their contents: trajectories are bit-identical on vs off.
+  bool pool_tensors = true;
+
   WatchdogConfig watchdog;
 
   /// Throws std::invalid_argument with a descriptive message when any
@@ -165,6 +172,15 @@ struct RunHealth {
   /// Campaign-side counters (see predictors::CampaignReport).
   std::size_t measurement_retries = 0;
   std::size_t measurements_rejected = 0;
+  /// Allocation telemetry of this run's TensorPool (all zero when
+  /// pooling was disabled): buffer/tape recycling counters accumulated
+  /// between search() entry and exit. In a healthy steady state the
+  /// miss counters stop growing after the first epochs.
+  std::uint64_t pool_buffer_hits = 0;
+  std::uint64_t pool_buffer_misses = 0;
+  std::uint64_t pool_bytes_recycled = 0;
+  std::uint64_t pool_tape_hits = 0;
+  std::uint64_t pool_tape_misses = 0;
 
   std::string summary() const;
 };

@@ -118,6 +118,11 @@ Json health_to_json(const core::RunHealth& health) {
   json.set("completed_epochs", Json(health.completed_epochs));
   json.set("measurement_retries", Json(health.measurement_retries));
   json.set("measurements_rejected", Json(health.measurements_rejected));
+  json.set("pool_buffer_hits", Json(health.pool_buffer_hits));
+  json.set("pool_buffer_misses", Json(health.pool_buffer_misses));
+  json.set("pool_bytes_recycled", Json(health.pool_bytes_recycled));
+  json.set("pool_tape_hits", Json(health.pool_tape_hits));
+  json.set("pool_tape_misses", Json(health.pool_tape_misses));
   Json events = Json::array();
   for (const core::WatchdogEvent& event : health.events) {
     Json row = Json::object();
@@ -145,6 +150,20 @@ core::RunHealth health_from_json(const Json& json) {
       static_cast<std::size_t>(json.at("measurement_retries").as_number());
   health.measurements_rejected = static_cast<std::size_t>(
       json.at("measurements_rejected").as_number());
+  // Pool telemetry arrived after the first checkpoint format; tolerate
+  // its absence so old checkpoints stay loadable.
+  if (json.contains("pool_buffer_hits")) {
+    health.pool_buffer_hits =
+        static_cast<std::uint64_t>(json.at("pool_buffer_hits").as_number());
+    health.pool_buffer_misses = static_cast<std::uint64_t>(
+        json.at("pool_buffer_misses").as_number());
+    health.pool_bytes_recycled = static_cast<std::uint64_t>(
+        json.at("pool_bytes_recycled").as_number());
+    health.pool_tape_hits =
+        static_cast<std::uint64_t>(json.at("pool_tape_hits").as_number());
+    health.pool_tape_misses =
+        static_cast<std::uint64_t>(json.at("pool_tape_misses").as_number());
+  }
   for (const Json& row : json.at("events").as_array()) {
     core::WatchdogEvent event;
     event.epoch = static_cast<std::size_t>(row.at("epoch").as_number());

@@ -9,7 +9,7 @@ namespace lightnas::nn {
 
 Dataset Dataset::gather(const std::vector<std::size_t>& indices) const {
   Dataset out;
-  out.features = Tensor(indices.size(), features.cols());
+  out.features = Tensor::uninitialized(indices.size(), features.cols());
   out.labels.reserve(indices.size());
   for (std::size_t r = 0; r < indices.size(); ++r) {
     const std::size_t src = indices[r];

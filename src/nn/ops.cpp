@@ -8,20 +8,11 @@ namespace lightnas::nn::ops {
 
 namespace {
 
-VarPtr make_node(Tensor value, std::vector<VarPtr> parents,
-                 std::function<void(Var&)> backward_fn) {
-  auto v = std::make_shared<Var>();
-  v->value = std::move(value);
-  v->parents = std::move(parents);
-  bool any_grad = false;
-  for (const VarPtr& p : v->parents) any_grad |= p->requires_grad;
-  v->requires_grad = any_grad;
-  if (any_grad) v->backward_fn = std::move(backward_fn);
-  return v;
-}
+// Var construction (node recycling + tape logging) lives in
+// nn::make_node — see autograd.hpp.
 
 void accumulate(const VarPtr& p, const Tensor& g) {
-  if (!p->requires_grad && p->backward_fn == nullptr && p->parents.empty()) {
+  if (!p->requires_grad && !p->backward_fn && p->parents.empty()) {
     // Pure constant leaf: skip the work.
     return;
   }
@@ -184,8 +175,9 @@ VarPtr row_softmax(const VarPtr& x) {
     for (std::size_t c = 0; c < cols; ++c) out.at(r, c) /= total;
   }
   auto node = make_node(out, {x}, [x, out](Var& n) {
-    // dL/dx_j = s_j * (g_j - sum_k g_k s_k), per row.
-    Tensor gx = Tensor::zeros(out.rows(), out.cols());
+    // dL/dx_j = s_j * (g_j - sum_k g_k s_k), per row; every element is
+    // assigned below.
+    Tensor gx = Tensor::uninitialized(out.rows(), out.cols());
     for (std::size_t r = 0; r < out.rows(); ++r) {
       float dot = 0.0f;
       for (std::size_t c = 0; c < out.cols(); ++c) {
@@ -247,7 +239,7 @@ VarPtr vstack(const std::vector<VarPtr>& blocks) {
     assert(b->value.cols() == cols);
     rows += b->value.rows();
   }
-  Tensor out(rows, cols);
+  Tensor out = Tensor::uninitialized(rows, cols);
   std::size_t row = 0;
   for (const VarPtr& b : blocks) {
     for (std::size_t r = 0; r < b->value.rows(); ++r, ++row) {
@@ -256,10 +248,12 @@ VarPtr vstack(const std::vector<VarPtr>& blocks) {
       }
     }
   }
-  return make_node(std::move(out), blocks, [blocks](Var& node) {
+  // Init-capture: a plain `[blocks]` capture of a const& parameter makes
+  // a const closure member, which would force BackwardFn moves to copy.
+  return make_node(std::move(out), blocks, [blocks = blocks](Var& node) {
     std::size_t row = 0;
     for (const VarPtr& b : blocks) {
-      Tensor g(b->value.rows(), b->value.cols());
+      Tensor g = Tensor::uninitialized(b->value.rows(), b->value.cols());
       for (std::size_t r = 0; r < g.rows(); ++r, ++row) {
         for (std::size_t c = 0; c < g.cols(); ++c) {
           g.at(r, c) = node.grad.at(row, c);
@@ -284,7 +278,7 @@ VarPtr binarize_rows_ste(const VarPtr& x) {
 VarPtr slice_rows(const VarPtr& x, std::size_t start, std::size_t count) {
   assert(start + count <= x->value.rows());
   assert(count > 0);
-  Tensor out(count, x->value.cols());
+  Tensor out = Tensor::uninitialized(count, x->value.cols());
   for (std::size_t r = 0; r < count; ++r) {
     for (std::size_t c = 0; c < out.cols(); ++c) {
       out.at(r, c) = x->value.at(start + r, c);
@@ -308,7 +302,7 @@ VarPtr softmax_cross_entropy(const VarPtr& logits,
   const std::size_t classes = logits->value.cols();
 
   // Stable softmax probabilities, cached for the backward pass.
-  Tensor probs(batch, classes);
+  Tensor probs = Tensor::uninitialized(batch, classes);
   double total_loss = 0.0;
   for (std::size_t r = 0; r < batch; ++r) {
     assert(labels[r] < classes);
@@ -329,7 +323,7 @@ VarPtr softmax_cross_entropy(const VarPtr& logits,
       static_cast<float>(total_loss / static_cast<double>(batch)));
 
   return make_node(std::move(out), {logits},
-                   [logits, probs, labels](Var& node) {
+                   [logits, probs, labels = labels](Var& node) {
     const float g = node.grad.item() /
                     static_cast<float>(logits->value.rows());
     Tensor gx = probs;

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lightnas::nn {
+
+/// Allocation-telemetry counters of the memory-reuse layer. A "buffer"
+/// event is one Tensor storage acquisition (hit = recycled from a free
+/// list, miss = fresh heap allocation); a "node" event is one autograd
+/// Var acquisition; a "tape" event is one backward() call (hit = the
+/// cached reverse-topological order was reused, miss = it was rebuilt).
+/// In the steady state of a fixed-shape training loop every counter but
+/// the hit counters should stop moving — bench/alloc_steady_state gates
+/// exactly that.
+struct PoolStats {
+  std::uint64_t buffer_hits = 0;
+  std::uint64_t buffer_misses = 0;
+  std::uint64_t bytes_recycled = 0;
+  std::uint64_t node_hits = 0;
+  std::uint64_t node_misses = 0;
+  std::uint64_t tape_hits = 0;
+  std::uint64_t tape_misses = 0;
+
+  double buffer_hit_rate() const {
+    const std::uint64_t total = buffer_hits + buffer_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(buffer_hits) /
+                            static_cast<double>(total);
+  }
+
+  PoolStats operator-(const PoolStats& other) const;
+  std::string to_string() const;
+};
+
+/// Shape-bucketed free-list pool for Tensor storage plus the counters
+/// for Var-node and tape recycling.
+///
+/// A pool is *thread-confined*: it is installed on the current thread
+/// with a PooledScope and consulted through TensorPool::active() by the
+/// Tensor special members and the autograd layer. Buffers are keyed by
+/// element count, so a training loop whose tensor shapes repeat step
+/// over step reaches a steady state where every acquisition is a hit
+/// and the global allocator is never entered. Because handout and
+/// recycling only move buffers between free lists — every element of an
+/// acquired buffer is overwritten before it is read — pooled and
+/// unpooled runs are bit-identical.
+///
+/// Buffers may migrate between threads: a Tensor created under one
+/// thread's pool and destroyed on another thread is simply donated to
+/// the destroying thread's pool (or freed when none is active). No
+/// locks are involved; the counters mirrored into the process-wide
+/// aggregate are lock-free relaxed atomics.
+class TensorPool {
+ public:
+  TensorPool();
+  ~TensorPool();
+
+  TensorPool(const TensorPool&) = delete;
+  TensorPool& operator=(const TensorPool&) = delete;
+
+  /// A buffer with size() == count, drawn from the matching free list
+  /// when possible. Contents are UNSPECIFIED (stale values from the
+  /// previous user) — the caller must overwrite every element.
+  std::vector<float> acquire(std::size_t count);
+
+  /// Return a buffer to its capacity-keyed free list. Never throws;
+  /// drops the buffer on the floor (plain free) if the pool is at its
+  /// retention cap or bookkeeping cannot allocate.
+  void release(std::vector<float>&& buffer) noexcept;
+
+  /// Counters since this pool was created (thread-confined reads).
+  PoolStats stats() const;
+
+  std::size_t free_buffers() const;
+  std::size_t free_bytes() const { return free_bytes_; }
+
+  /// Retention cap: release() beyond this many free bytes frees instead
+  /// of pooling. Generous default — steady-state working sets are MBs.
+  void set_max_free_bytes(std::size_t bytes) { max_free_bytes_ = bytes; }
+
+  // -- called by the autograd layer -----------------------------------
+  void note_node_hit();
+  void note_node_miss();
+  void note_tape_hit();
+  void note_tape_miss();
+
+  /// The pool installed on this thread by the innermost PooledScope
+  /// (null when none is active — all pooling is then bypassed).
+  static TensorPool* active();
+
+  /// Process-wide aggregate across every pool that ever lived, live or
+  /// destroyed, all threads. Lock-free relaxed reads.
+  static PoolStats global_stats();
+
+ private:
+  void bump_global(std::uint64_t PoolStats::*field, std::uint64_t n);
+
+  std::unordered_map<std::size_t, std::vector<std::vector<float>>> buckets_;
+  std::size_t free_bytes_ = 0;
+  std::size_t free_count_ = 0;
+  std::size_t max_free_bytes_ = std::size_t{1} << 29;  // 512 MiB
+  PoolStats stats_;
+};
+
+/// How a PooledScope changes the thread's active pool.
+enum class PoolMode {
+  /// Keep the already-active pool if there is one; otherwise install a
+  /// fresh pool owned by this scope. What engines use by default, so a
+  /// caller-provided pool (e.g. a bench's long-lived scope) is reused
+  /// across engine invocations and reaches a shared steady state.
+  kInherit,
+  /// Always install a fresh pool owned by this scope, shadowing any
+  /// outer one (tests that need isolated counters).
+  kFresh,
+  /// Mask any outer pool: TensorPool::active() is null inside the
+  /// scope, so every allocation takes the plain heap path. This is the
+  /// "pooling off" arm of the bit-identity comparisons.
+  kDisabled,
+};
+
+/// RAII activation of a TensorPool on the current thread. Scopes nest;
+/// destruction restores the previous active pool. The scope (and any
+/// pool it owns) must be destroyed on the thread that created it.
+class PooledScope {
+ public:
+  explicit PooledScope(PoolMode mode = PoolMode::kInherit);
+  ~PooledScope();
+
+  PooledScope(const PooledScope&) = delete;
+  PooledScope& operator=(const PooledScope&) = delete;
+
+  /// The pool active inside this scope. Must not be called on a
+  /// kDisabled scope.
+  TensorPool& pool();
+
+ private:
+  TensorPool* previous_ = nullptr;
+  TensorPool* owned_ = nullptr;
+  TensorPool* effective_ = nullptr;
+};
+
+/// Fixed-size block recycling for the autograd layer's shared_ptr
+/// control blocks and Var nodes. Blocks always originate from
+/// ::operator new; when a pool is active on the releasing thread they
+/// park in a thread-local size-keyed free list instead of being freed.
+void* pooled_block_acquire(std::size_t bytes);
+void pooled_block_release(void* block, std::size_t bytes) noexcept;
+
+/// STL-compatible allocator over the block pool; used as the shared_ptr
+/// control-block allocator so steady-state Var churn never calls the
+/// global allocator.
+template <typename T>
+struct PooledBlockAllocator {
+  using value_type = T;
+
+  PooledBlockAllocator() = default;
+  template <typename U>
+  PooledBlockAllocator(const PooledBlockAllocator<U>&) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pooled_block_acquire(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    pooled_block_release(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const PooledBlockAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const PooledBlockAllocator<U>&) const {
+    return false;
+  }
+};
+
+}  // namespace lightnas::nn

@@ -4,14 +4,93 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 
 #include "nn/parallel.hpp"
+#include "nn/pool.hpp"
 #include "util/rng.hpp"
 
 namespace lightnas::nn {
 
 Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols) {
+  const std::size_t count = rows * cols;
+  if (TensorPool* pool = TensorPool::active()) {
+    data_ = pool->acquire(count);
+    std::fill(data_.begin(), data_.end(), fill);
+  } else {
+    data_.assign(count, fill);
+  }
+}
+
+Tensor::Tensor(const Tensor& other) : rows_(other.rows_), cols_(other.cols_) {
+  if (TensorPool* pool = TensorPool::active()) {
+    data_ = pool->acquire(other.data_.size());
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  } else {
+    data_ = other.data_;
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  TensorPool* pool = TensorPool::active();
+  if (pool == nullptr || data_.capacity() >= other.data_.size()) {
+    // Fits in place (or pooling is off): plain vector copy-assign, which
+    // reuses the existing buffer when the capacity suffices.
+    data_ = other.data_;
+  } else {
+    release_buffer(std::move(data_));
+    data_ = pool->acquire(other.data_.size());
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  }
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_.clear();
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  release_buffer(std::move(data_));
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = std::move(other.data_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_.clear();
+  return *this;
+}
+
+Tensor::~Tensor() { release_buffer(std::move(data_)); }
+
+void Tensor::release_buffer(std::vector<float>&& buffer) noexcept {
+  if (buffer.capacity() == 0) return;
+  if (TensorPool* pool = TensorPool::active()) {
+    pool->release(std::move(buffer));
+  }
+  // No active pool (or the pool declined): the vector destructor frees.
+}
+
+Tensor Tensor::uninitialized(std::size_t rows, std::size_t cols) {
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  const std::size_t count = rows * cols;
+  if (TensorPool* pool = TensorPool::active()) {
+    t.data_ = pool->acquire(count);  // contents stale by contract
+  } else {
+    t.data_.assign(count, 0.0f);
+  }
+  return t;
+}
 
 Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
   return Tensor(rows, cols, 0.0f);
@@ -31,7 +110,7 @@ Tensor Tensor::scalar(float value) {
 
 Tensor Tensor::randn(std::size_t rows, std::size_t cols,
                      lightnas::util::Rng& rng, float stddev) {
-  Tensor t(rows, cols);
+  Tensor t = Tensor::uninitialized(rows, cols);
   for (auto& v : t.data_) {
     v = static_cast<float>(rng.normal(0.0, stddev));
   }
@@ -39,12 +118,28 @@ Tensor Tensor::randn(std::size_t rows, std::size_t cols,
 }
 
 Tensor Tensor::from_rows(const std::vector<std::vector<float>>& rows) {
-  assert(!rows.empty());
-  Tensor t(rows.size(), rows.front().size());
+  // Validate before allocating: a ragged longer row would otherwise copy
+  // past its slice and corrupt the heap in builds where assert is a
+  // no-op.
+  if (rows.empty()) {
+    throw std::invalid_argument("Tensor::from_rows: empty row list");
+  }
+  const std::size_t cols = rows.front().size();
+  if (cols == 0) {
+    throw std::invalid_argument("Tensor::from_rows: rows have no columns");
+  }
   for (std::size_t r = 0; r < rows.size(); ++r) {
-    assert(rows[r].size() == t.cols_);
+    if (rows[r].size() != cols) {
+      std::ostringstream oss;
+      oss << "Tensor::from_rows: ragged input, row " << r << " has "
+          << rows[r].size() << " columns, expected " << cols;
+      throw std::invalid_argument(oss.str());
+    }
+  }
+  Tensor t = Tensor::uninitialized(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
     std::copy(rows[r].begin(), rows[r].end(),
-              t.data_.begin() + static_cast<std::ptrdiff_t>(r * t.cols_));
+              t.data_.begin() + static_cast<std::ptrdiff_t>(r * cols));
   }
   return t;
 }
@@ -157,10 +252,9 @@ void Tensor::add_row_relu_inplace(const Tensor& row,
 
 Tensor Tensor::reshaped(std::size_t rows, std::size_t cols) const {
   assert(rows * cols == data_.size());
-  Tensor t;
+  Tensor t(*this);  // pooled copy when a pool is active
   t.rows_ = rows;
   t.cols_ = cols;
-  t.data_ = data_;
   return t;
 }
 
@@ -221,9 +315,15 @@ namespace {
 // NaN and `0 * inf` must stay NaN for IEEE propagation (the old kernels
 // silently dropped non-finite values through an `av == 0` fast path,
 // which let poisoned activations masquerade as healthy zeros).
+//
+// The accumulating kernels peel the first write per element into an
+// assignment of `0.0f + products` — the exact chain the accumulate form
+// produces over a zeroed C — so the output buffer may come from
+// Tensor::uninitialized and a pooled hit never pays a zero-fill pass.
 // ---------------------------------------------------------------------
 
-/// C(r0..r1, :) += A(r0..r1, :) * B for row-major A (m x k), B (k x n).
+/// C(r0..r1, :) = A(r0..r1, :) * B for row-major A (m x k), B (k x n).
+/// Fully overwrites the row range; C may start uninitialized (k >= 1).
 void matmul_rows(const float* a, const float* b, float* c, std::size_t k,
                  std::size_t n, std::size_t r0, std::size_t r1,
                  std::size_t kc) {
@@ -233,6 +333,26 @@ void matmul_rows(const float* a, const float* b, float* c, std::size_t k,
       const float* arow = a + i * k;
       float* crow = c + i * n;
       std::size_t p = pb;
+      if (pb == 0) {
+        // First touch of this row: assign, don't read stale C.
+        if (p + 1 < pe) {
+          const float a0 = arow[p];
+          const float a1 = arow[p + 1];
+          const float* b0 = b + p * n;
+          const float* b1 = b0 + n;
+          for (std::size_t j = 0; j < n; ++j) {
+            crow[j] = 0.0f + a0 * b0[j] + a1 * b1[j];
+          }
+          p += 2;
+        } else {
+          const float av = arow[p];
+          const float* brow = b + p * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            crow[j] = 0.0f + av * brow[j];
+          }
+          ++p;
+        }
+      }
       for (; p + 1 < pe; p += 2) {
         const float a0 = arow[p];
         const float a1 = arow[p + 1];
@@ -253,8 +373,9 @@ void matmul_rows(const float* a, const float* b, float* c, std::size_t k,
   }
 }
 
-/// C(i0..i1, :) += A^T(i0..i1, :) * B for row-major A (k x m), B (k x n);
-/// row i of C reads column i of A (stride m).
+/// C(i0..i1, :) = A^T(i0..i1, :) * B for row-major A (k x m), B (k x n);
+/// row i of C reads column i of A (stride m). Fully overwrites the row
+/// range; C may start uninitialized (k >= 1).
 void matmul_tn_rows(const float* a, const float* b, float* c,
                     std::size_t k, std::size_t m, std::size_t n,
                     std::size_t i0, std::size_t i1, std::size_t kc) {
@@ -263,6 +384,26 @@ void matmul_tn_rows(const float* a, const float* b, float* c,
     for (std::size_t i = i0; i < i1; ++i) {
       float* crow = c + i * n;
       std::size_t p = pb;
+      if (pb == 0) {
+        // First touch of this row: assign, don't read stale C.
+        if (p + 1 < pe) {
+          const float a0 = a[p * m + i];
+          const float a1 = a[(p + 1) * m + i];
+          const float* b0 = b + p * n;
+          const float* b1 = b0 + n;
+          for (std::size_t j = 0; j < n; ++j) {
+            crow[j] = 0.0f + a0 * b0[j] + a1 * b1[j];
+          }
+          p += 2;
+        } else {
+          const float av = a[p * m + i];
+          const float* brow = b + p * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            crow[j] = 0.0f + av * brow[j];
+          }
+          ++p;
+        }
+      }
       for (; p + 1 < pe; p += 2) {
         const float a0 = a[p * m + i];
         const float a1 = a[(p + 1) * m + i];
@@ -326,8 +467,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
 Tensor matmul(const Tensor& a, const Tensor& b, const ParallelContext& ctx) {
   assert(a.cols() == b.rows());
-  Tensor c(a.rows(), b.cols());
+  Tensor c = Tensor::uninitialized(a.rows(), b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (k == 0) {  // no k-blocks: the kernel never writes C
+    c.fill(0.0f);
+    return c;
+  }
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
@@ -350,8 +495,12 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 Tensor matmul_tn(const Tensor& a, const Tensor& b,
                  const ParallelContext& ctx) {
   assert(a.rows() == b.rows());
-  Tensor c(a.cols(), b.cols());
+  Tensor c = Tensor::uninitialized(a.cols(), b.cols());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (k == 0) {  // no k-blocks: the kernel never writes C
+    c.fill(0.0f);
+    return c;
+  }
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
@@ -375,7 +524,9 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 Tensor matmul_nt(const Tensor& a, const Tensor& b,
                  const ParallelContext& ctx) {
   assert(a.cols() == b.cols());
-  Tensor c(a.rows(), b.rows());
+  // The NT kernel assigns every element (dot accumulators start at 0),
+  // so the output never needs a pre-fill, even for k == 0.
+  Tensor c = Tensor::uninitialized(a.rows(), b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   const float* pa = a.data().data();
   const float* pb = b.data().data();

@@ -24,6 +24,27 @@ class Tensor {
   Tensor() = default;
   Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f);
 
+  /// All special members route the underlying buffer through the
+  /// thread's active TensorPool (see pool.hpp) when one is installed:
+  /// construction acquires a recycled buffer and overwrites every
+  /// element; destruction / overwrite donates the buffer back to the
+  /// pool. Without an active pool behavior is the plain std::vector
+  /// one. Either way the element values are identical — pooling only
+  /// changes where the bytes live.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
+
+  /// Storage whose contents are UNSPECIFIED when drawn from an active
+  /// TensorPool — the caller must overwrite every element before any
+  /// read. This is the fast path for kernels that fully overwrite their
+  /// output (GEMM, batch assembly, stacking): a pooled hit skips the
+  /// zero/fill pass entirely. Without an active pool the buffer is
+  /// zero-initialized, because std::vector cannot hand out raw storage;
+  /// init-free handout is precisely what buffer recycling enables.
+  static Tensor uninitialized(std::size_t rows, std::size_t cols);
   static Tensor zeros(std::size_t rows, std::size_t cols);
   static Tensor ones(std::size_t rows, std::size_t cols);
   static Tensor full(std::size_t rows, std::size_t cols, float value);
@@ -72,7 +93,8 @@ class Tensor {
   void add_row_relu_inplace(const Tensor& row);
   void add_row_relu_inplace(const Tensor& row, const ParallelContext& ctx);
 
-  /// Reshape without copying; total size must be preserved.
+  /// Reinterpret the elements under a new shape (copies the buffer —
+  /// through the pool when one is active); total size must be preserved.
   Tensor reshaped(std::size_t rows, std::size_t cols) const;
 
   float sum() const;
@@ -84,6 +106,9 @@ class Tensor {
   std::string shape_string() const;
 
  private:
+  /// Donate the buffer to the active pool (plain free otherwise).
+  static void release_buffer(std::vector<float>&& buffer) noexcept;
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<float> data_;

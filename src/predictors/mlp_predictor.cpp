@@ -8,6 +8,7 @@
 #include "nn/ops.hpp"
 #include "nn/optim.hpp"
 #include "nn/parallel.hpp"
+#include "nn/pool.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -32,6 +33,11 @@ double MlpPredictor::train(const MeasurementDataset& data,
   // Route every kernel in the loop (forward, backward, bias/ReLU)
   // through the configured parallel context for the duration of train().
   const nn::ParallelScope parallel_scope(config.parallel);
+  // Memory-reuse layer: per-epoch graphs recycle instead of reallocating
+  // (pure buffer recycling — weights are bit-identical either way).
+  const nn::PooledScope pool_scope(config.pool_tensors
+                                       ? nn::PoolMode::kInherit
+                                       : nn::PoolMode::kDisabled);
 
   target_mean_ = util::mean(data.targets);
   target_std_ = std::max(util::stddev(data.targets), 1e-6);
@@ -56,8 +62,9 @@ double MlpPredictor::train(const MeasurementDataset& data,
           std::min(start + config.batch_size, order.size());
       const std::size_t rows = end - start;
 
-      nn::Tensor x(rows, input_dim());
-      nn::Tensor y(rows, 1);
+      // Fully overwritten below — pooled hits skip the zero-fill pass.
+      nn::Tensor x = nn::Tensor::uninitialized(rows, input_dim());
+      nn::Tensor y = nn::Tensor::uninitialized(rows, 1);
       for (std::size_t r = 0; r < rows; ++r) {
         const std::size_t idx = order[start + r];
         const std::vector<float>& enc = data.encodings[idx];
@@ -96,7 +103,7 @@ double MlpPredictor::predict_encoding(
     const std::vector<float>& encoding) const {
   assert(trained_);
   assert(encoding.size() == input_dim());
-  nn::Tensor x(1, input_dim());
+  nn::Tensor x = nn::Tensor::uninitialized(1, input_dim());
   std::copy(encoding.begin(), encoding.end(), x.data().begin());
   const nn::VarPtr out = mlp_->forward(nn::make_const(std::move(x)));
   return target_mean_ +
@@ -114,7 +121,7 @@ std::vector<double> MlpPredictor::predict_batch(
     const std::vector<space::Architecture>& archs) const {
   assert(trained_);
   if (archs.empty()) return {};
-  nn::Tensor x(archs.size(), input_dim());
+  nn::Tensor x = nn::Tensor::uninitialized(archs.size(), input_dim());
   for (std::size_t r = 0; r < archs.size(); ++r) {
     const std::vector<float> enc = archs[r].encode_one_hot(num_ops_);
     assert(enc.size() == input_dim());

@@ -28,6 +28,10 @@ struct MlpTrainConfig {
   /// ParallelContext::current() (serial unless the process configured a
   /// global pool). Trained weights are bit-identical either way.
   const nn::ParallelContext* parallel = nullptr;
+  /// Recycle tensor buffers / autograd graphs through a nn::TensorPool
+  /// for the duration of train() (inheriting a caller-installed pool).
+  /// Trained weights are bit-identical with pooling on or off.
+  bool pool_tensors = true;
 };
 
 /// The paper's hardware-metric predictor (Sec 3.2): a three-layer MLP

@@ -13,8 +13,8 @@ std::string ServiceStats::to_string() const {
   oss.precision(4);
   oss << "completed=" << completed << " batches=" << batches
       << " mean_batch=" << batch_size.mean() << " cache{"
-      << cache.to_string() << "} latency_us{" << latency_us.to_string()
-      << "}";
+      << cache.to_string() << "} pool{" << pool.to_string()
+      << "} latency_us{" << latency_us.to_string() << "}";
   return oss.str();
 }
 
@@ -37,6 +37,7 @@ PredictionService::PredictionService(const predictors::CostOracle& oracle,
   if (config_.num_workers == 0) config_.num_workers = 1;
   if (config_.max_batch == 0) config_.max_batch = 1;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  pool_start_ = nn::TensorPool::global_stats();
   workers_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -109,6 +110,12 @@ void PredictionService::worker_loop() {
   // Install the shared GEMM context for every batched forward this
   // worker runs (no-op when config_.parallel is null).
   const nn::ParallelScope parallel_scope(config_.parallel);
+  // Per-worker tensor pool: batch inputs and forward activations are
+  // created on this thread, so under steady traffic every buffer is
+  // recycled locally with no cross-thread traffic at all.
+  const nn::PooledScope pool_scope(config_.pool_tensors
+                                       ? nn::PoolMode::kInherit
+                                       : nn::PoolMode::kDisabled);
   const bool use_cache = config_.cache_capacity > 0;
   for (;;) {
     std::vector<Request> batch;
@@ -181,6 +188,7 @@ ServiceStats PredictionService::stats() const {
   stats.completed = completed_.value();
   stats.batches = batches_.value();
   stats.cache = cache_.stats();
+  stats.pool = nn::TensorPool::global_stats() - pool_start_;
   stats.latency_us = latency_us_.snapshot();
   stats.batch_size = batch_size_.snapshot();
   stats.queue_depth = queue_depth_.snapshot();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/parallel.hpp"
+#include "nn/pool.hpp"
 #include "predictors/predictor.hpp"
 #include "serve/cache.hpp"
 #include "space/architecture.hpp"
@@ -38,6 +39,10 @@ struct ServiceConfig {
   /// unless the process configured a global pool. Predictions are
   /// bit-identical either way.
   const nn::ParallelContext* parallel = nullptr;
+  /// Give each worker a thread-local nn::TensorPool so steady-state
+  /// batched forwards recycle their buffers instead of allocating.
+  /// Predictions are bit-identical with pooling on or off.
+  bool pool_tensors = true;
 };
 
 /// Point-in-time service telemetry. Latencies are end-to-end
@@ -47,6 +52,9 @@ struct ServiceStats {
   std::uint64_t completed = 0;
   std::uint64_t batches = 0;
   CacheStats cache;
+  /// Tensor-pool activity since the service started (process-wide
+  /// counter deltas; with pooling disabled all fields stay zero).
+  nn::PoolStats pool;
   util::HistogramSnapshot latency_us;
   util::HistogramSnapshot batch_size;
   util::HistogramSnapshot queue_depth;
@@ -120,6 +128,9 @@ class PredictionService {
   std::condition_variable queue_not_full_;
   std::deque<Request> queue_;
   bool stopping_ = false;
+
+  /// Baseline for the pool-counter deltas reported by stats().
+  nn::PoolStats pool_start_;
 
   util::Counter submitted_;
   util::Counter completed_;

@@ -39,6 +39,34 @@ VarPtr random_leaf(std::size_t r, std::size_t c, std::uint64_t seed) {
   return make_leaf(Tensor::randn(r, c, rng));
 }
 
+TEST(Autograd, EnsureGradTracksValueReshapeAndResize) {
+  VarPtr v = make_leaf(Tensor::zeros(2, 3));
+  v->ensure_grad();
+  v->grad.fill(7.0f);
+
+  // Same element count, different shape: grad must follow the value's
+  // shape (and restart at zero), not keep serving the stale 2x3 buffer.
+  v->value = Tensor::zeros(3, 2);
+  v->ensure_grad();
+  EXPECT_EQ(v->grad.rows(), 3u);
+  EXPECT_EQ(v->grad.cols(), 2u);
+  EXPECT_FLOAT_EQ(v->grad.abs_max(), 0.0f);
+
+  // Different element count: grad must be re-allocated to match.
+  v->grad.fill(7.0f);
+  v->value = Tensor::zeros(4, 5);
+  v->ensure_grad();
+  EXPECT_EQ(v->grad.rows(), 4u);
+  EXPECT_EQ(v->grad.cols(), 5u);
+  EXPECT_EQ(v->grad.size(), 20u);
+  EXPECT_FLOAT_EQ(v->grad.abs_max(), 0.0f);
+
+  // Unchanged shape: ensure_grad must NOT clear accumulated gradients.
+  v->grad.fill(2.0f);
+  v->ensure_grad();
+  EXPECT_FLOAT_EQ(v->grad.abs_max(), 2.0f);
+}
+
 TEST(Autograd, BackwardRequiresScalarRoot) {
   VarPtr x = random_leaf(1, 1, 1);
   VarPtr y = scale(x, 2.0);

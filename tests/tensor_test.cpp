@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "nn/tensor.hpp"
 #include "util/rng.hpp"
@@ -30,6 +31,15 @@ TEST(Tensor, FromRows) {
   const Tensor t = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
   EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
   EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, FromRowsRejectsEmptyAndRaggedInput) {
+  EXPECT_THROW(Tensor::from_rows({}), std::invalid_argument);
+  EXPECT_THROW(Tensor::from_rows({{}}), std::invalid_argument);
+  EXPECT_THROW(Tensor::from_rows({{1.0f, 2.0f}, {3.0f}}),
+               std::invalid_argument);
+  EXPECT_THROW(Tensor::from_rows({{1.0f}, {2.0f, 3.0f}, {4.0f}}),
+               std::invalid_argument);
 }
 
 TEST(Tensor, ElementwiseInplace) {

@@ -133,6 +133,7 @@ int cmd_train_predictor(const cli::Args& args) {
   config.epochs = args.get_size("epochs", 120);
   config.batch_size = args.get_size("batch", 128);
   config.log_every = args.get_size("log-every", 20);
+  config.pool_tensors = args.get("tensor-pool", "1") != "0";
   std::fprintf(stderr, "training on %zu / validating on %zu samples...\n",
                train.size(), valid.size());
   predictor.train(train, config);
@@ -180,6 +181,9 @@ int cmd_search(const cli::Args& args) {
       args.get_size("warmup", std::min<std::size_t>(config.warmup_epochs,
                                                     config.epochs / 2));
   config.log_progress = args.get("verbose", "0") != "0";
+  // Buffer/graph recycling (results are bit-identical on or off; off
+  // exists for A/B allocation debugging).
+  config.pool_tensors = args.get("tensor-pool", "1") != "0";
 
   core::SearchHooks hooks;
   core::SearchCheckpoint resume_state;
@@ -292,6 +296,7 @@ int cmd_serve_bench(const cli::Args& args) {
   config.max_batch = args.get_size("batch", 64);
   config.queue_capacity = args.get_size("queue", 256);
   config.cache_capacity = args.get_size("cache", 1 << 16);
+  config.pool_tensors = args.get("tensor-pool", "1") != "0";
 
   // Serve a trained predictor artifact when given one; otherwise run a
   // small in-process campaign so the command works standalone.
@@ -358,6 +363,17 @@ int cmd_serve_bench(const cli::Args& args) {
   table.add_row({"mean queue depth",
                  util::fmt_double(stats.queue_depth.mean(), 1)});
   table.add_row({"batches", std::to_string(stats.batches)});
+  table.add_row({"tensor-pool hit rate",
+                 util::fmt_pct(100.0 * stats.pool.buffer_hit_rate()) +
+                     " %"});
+  table.add_row({"tensor-pool misses",
+                 std::to_string(stats.pool.buffer_misses)});
+  table.add_row({"tensor-pool recycled",
+                 util::fmt_double(
+                     static_cast<double>(stats.pool.bytes_recycled) /
+                         (1 << 20),
+                     1) +
+                     " MB"});
   table.print(std::cout);
   return 0;
 }
@@ -370,6 +386,8 @@ void print_usage() {
       "  --threads N     parallel GEMM lanes for training/search/serving\n"
       "                  (default 1 = serial; results are bit-identical)\n"
       "  --gemm-block B  cache-block edge of the blocked GEMM kernels\n"
+      "  --tensor-pool 0|1  recycle tensor buffers / autograd graphs\n"
+      "                  (default 1; results are bit-identical)\n"
       "\n"
       "commands:\n"
       "  devices                                list device profiles\n"
