@@ -53,6 +53,19 @@ std::unique_ptr<predictors::MlpPredictor> train_energy_predictor(
                          epochs, seed, "mJ");
 }
 
+void update_bench_json(const std::string& path, const std::string& key,
+                       const io::Json& section) {
+  io::Json root = io::Json::object();
+  try {
+    io::Json existing = io::read_json_file(path);
+    if (existing.type() == io::Json::Type::kObject) root = std::move(existing);
+  } catch (...) {
+    // Missing or corrupt file: start fresh.
+  }
+  root.set(key, section);
+  io::write_json_file(path, root);
+}
+
 void banner(const std::string& title, const std::string& paper_artifact) {
   std::printf("=======================================================\n");
   std::printf("%s\n", title.c_str());

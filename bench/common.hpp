@@ -5,6 +5,7 @@
 #include <string>
 
 #include "hw/simulator.hpp"
+#include "io/json.hpp"
 #include "predictors/mlp_predictor.hpp"
 #include "space/search_space.hpp"
 
@@ -44,5 +45,13 @@ std::unique_ptr<predictors::MlpPredictor> train_energy_predictor(
 
 /// Print the standard bench banner.
 void banner(const std::string& title, const std::string& paper_artifact);
+
+/// Merge `section` into the JSON object at `path` under `key`,
+/// preserving other top-level keys (so several benches can share one
+/// trajectory file, e.g. serving_throughput and serve_resilience both
+/// writing BENCH_serve.json). An unreadable/corrupt existing file is
+/// replaced rather than fatal.
+void update_bench_json(const std::string& path, const std::string& key,
+                       const io::Json& section);
 
 }  // namespace lightnas::bench

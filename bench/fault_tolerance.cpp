@@ -168,6 +168,24 @@ int main() {
                 event.rolled_back ? "rolled back" : "aborted");
   }
 
+  io::Json out = io::Json::object();
+  out.set("fast_mode", io::Json(bench::fast_mode()));
+  out.set("samples", io::Json(samples));
+  out.set("clean_rmse_ms", io::Json(clean_report.rmse));
+  out.set("robust_rmse_ms", io::Json(robust_report.rmse));
+  out.set("rmse_ratio", io::Json(rmse_ratio));
+  out.set("rmse_ratio_budget", io::Json(2.0));
+  out.set("clean_kendall", io::Json(clean_report.kendall));
+  out.set("robust_kendall", io::Json(robust_report.kendall));
+  out.set("campaign_retries", io::Json(report.retries));
+  out.set("campaign_rejected_outliers", io::Json(report.rejected_outliers));
+  out.set("guarded_gap_pct", io::Json(gap));
+  out.set("watchdog_events",
+          io::Json(hot_result.health.events.size()));
+  out.set("pass", io::Json(rmse_ratio <= 2.0 && gap <= 10.0));
+  bench::update_bench_json("BENCH_fault.json", "fault_tolerance", out);
+  std::printf("\nupdated BENCH_fault.json (section: fault_tolerance)\n");
+
   std::printf(
       "\nTakeaway: the per-sample retry/MAD policy keeps the predictor\n"
       "within the 2x RMSE budget on a device injecting outliers and\n"

@@ -68,6 +68,7 @@ int main() {
   util::Table table({"config", "q/s", "speedup", "hit rate", "p50 us",
                      "p99 us", "mean batch"});
   double best_speedup = 0.0;
+  double best_qps = 0.0;
   for (const Config& config : configs) {
     serve::ServiceConfig service_config;
     service_config.num_workers = config.workers;
@@ -84,6 +85,7 @@ int main() {
 
     const double speedup = result.qps() / baseline.qps();
     best_speedup = std::max(best_speedup, speedup);
+    best_qps = std::max(best_qps, result.qps());
     table.add_row({config.label, util::fmt_double(result.qps(), 0),
                    util::fmt_double(speedup, 1) + "x",
                    util::fmt_pct(100.0 * stats.cache.hit_rate()) + " %",
@@ -93,8 +95,22 @@ int main() {
   }
   table.print(std::cout);
 
+  const bool pass = best_speedup >= 5.0;
   std::printf("\nbest speedup over sequential baseline: %.1fx (floor: 5x)"
               " -> %s\n",
-              best_speedup, best_speedup >= 5.0 ? "OK" : "BELOW FLOOR");
-  return best_speedup >= 5.0 ? 0 : 1;
+              best_speedup, pass ? "OK" : "BELOW FLOOR");
+
+  io::Json out = io::Json::object();
+  out.set("fast_mode", io::Json(bench::fast_mode()));
+  out.set("requests", io::Json(requests));
+  out.set("pool_size", io::Json(pool.size()));
+  out.set("baseline_qps", io::Json(baseline.qps()));
+  out.set("best_qps", io::Json(best_qps));
+  out.set("best_speedup", io::Json(best_speedup));
+  out.set("speedup_floor", io::Json(5.0));
+  out.set("pass", io::Json(pass));
+  bench::update_bench_json("BENCH_serve.json", "throughput", out);
+  std::printf("updated BENCH_serve.json (section: throughput)\n");
+
+  return pass ? 0 : 1;
 }

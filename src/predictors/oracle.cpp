@@ -1,5 +1,10 @@
 #include "predictors/oracle.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
+#include "space/flops.hpp"
+
 namespace lightnas::predictors {
 
 SimulatorOracle::SimulatorOracle(const space::SearchSpace& space,
@@ -14,6 +19,44 @@ double SimulatorOracle::predict(const space::Architecture& arch) const {
 
 std::string SimulatorOracle::unit() const {
   return metric_ == Metric::kLatencyMs ? "ms" : "mJ";
+}
+
+FlopsProxyOracle::FlopsProxyOracle(const space::SearchSpace& space,
+                                   std::string unit, double per_gmac,
+                                   double offset)
+    : space_(&space),
+      unit_(std::move(unit)),
+      per_gmac_(per_gmac),
+      offset_(offset) {}
+
+FlopsProxyOracle FlopsProxyOracle::calibrated(
+    const space::SearchSpace& space, const CostOracle& reference,
+    const std::vector<space::Architecture>& sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument(
+        "FlopsProxyOracle::calibrated: empty calibration sample");
+  }
+  const double n = static_cast<double>(sample.size());
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  for (const space::Architecture& arch : sample) {
+    const double x = space::count_macs(space, arch) / 1e9;
+    const double y = reference.predict(arch);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  const double var = sum_xx - sum_x * sum_x / n;
+  double slope = 0.0;
+  if (var > 1e-12) {
+    slope = std::max(0.0, (sum_xy - sum_x * sum_y / n) / var);
+  }
+  const double intercept = (sum_y - slope * sum_x) / n;
+  return FlopsProxyOracle(space, reference.unit(), slope, intercept);
+}
+
+double FlopsProxyOracle::predict(const space::Architecture& arch) const {
+  return offset_ + per_gmac_ * (space::count_macs(*space_, arch) / 1e9);
 }
 
 }  // namespace lightnas::predictors

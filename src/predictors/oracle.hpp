@@ -27,4 +27,38 @@ class SimulatorOracle : public CostOracle {
   Metric metric_;
 };
 
+/// Analytic FLOPs-proxy oracle: cost ~ per_gmac * GMACs + offset. Two
+/// multiplies over the layer table — no MLP forward, no device model —
+/// which makes it the degraded-mode answer of last resort for the
+/// serving layer: when the real predictor is unavailable, a
+/// compute-proportional estimate is far more useful to a search loop
+/// than no answer at all (FLOPs is the proxy the paper's Fig. 2 argues
+/// is *insufficient* for ranking, which is exactly why it is a
+/// fallback tier and not the predictor).
+class FlopsProxyOracle : public CostOracle {
+ public:
+  FlopsProxyOracle(const space::SearchSpace& space, std::string unit,
+                   double per_gmac = 1.0, double offset = 0.0);
+
+  /// Least-squares fit of `reference`'s predictions against GMACs over
+  /// `sample` (slope clamped to >= 0; degenerate samples fall back to a
+  /// constant at the mean). Throws std::invalid_argument on an empty
+  /// sample.
+  static FlopsProxyOracle calibrated(
+      const space::SearchSpace& space, const CostOracle& reference,
+      const std::vector<space::Architecture>& sample);
+
+  double predict(const space::Architecture& arch) const override;
+  std::string unit() const override { return unit_; }
+
+  double per_gmac() const { return per_gmac_; }
+  double offset() const { return offset_; }
+
+ private:
+  const space::SearchSpace* space_;
+  std::string unit_;
+  double per_gmac_;
+  double offset_;
+};
+
 }  // namespace lightnas::predictors

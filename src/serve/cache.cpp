@@ -11,18 +11,25 @@ std::string CacheStats::to_string() const {
   oss << "hits=" << hits << " misses=" << misses
       << " hit_rate=" << hit_rate() << " evictions=" << evictions
       << " entries=" << entries;
+  if (expired > 0 || stale_serves > 0) {
+    oss << " expired=" << expired << " stale_serves=" << stale_serves;
+  }
   return oss.str();
 }
 
 ShardedLruCache::ShardedLruCache(std::size_t capacity,
-                                 std::size_t num_shards)
-    : shards_(std::max<std::size_t>(num_shards, 1)) {
+                                 std::size_t num_shards,
+                                 std::chrono::nanoseconds ttl)
+    : ttl_(ttl), shards_(std::max<std::size_t>(num_shards, 1)) {
   const std::size_t shards = shards_.size();
   per_shard_capacity_ = std::max<std::size_t>(
       1, (capacity + shards - 1) / shards);
 }
 
 std::optional<double> ShardedLruCache::get(std::uint64_t key) {
+  // One clock read per lookup, and only when aging is on at all.
+  const auto now = ttl_.count() > 0 ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
@@ -30,26 +37,46 @@ std::optional<double> ShardedLruCache::get(std::uint64_t key) {
     ++shard.misses;
     return std::nullopt;
   }
+  if (expired(*it->second, now)) {
+    // Refuse the value but keep the entry: the miss sends the request
+    // through the oracle (revalidation), while get_stale() can still
+    // serve the old value if the oracle turns out to be unavailable.
+    ++shard.misses;
+    ++shard.expired;
+    return std::nullopt;
+  }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->second;
+  return it->second->value;
+}
+
+std::optional<double> ShardedLruCache::get_stale(std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  ++shard.stale_serves;
+  return it->second->value;
 }
 
 void ShardedLruCache::put(std::uint64_t key, double value) {
+  const auto now = ttl_.count() > 0 ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = value;
+    it->second->value = value;
+    it->second->stamp = now;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
   if (shard.lru.size() >= per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
+    shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.emplace_front(key, value);
+  shard.lru.push_front(Entry{key, value, now});
   shard.index.emplace(key, shard.lru.begin());
 }
 
@@ -61,6 +88,8 @@ CacheStats ShardedLruCache::stats() const {
     total.misses += shard.misses;
     total.evictions += shard.evictions;
     total.entries += shard.lru.size();
+    total.expired += shard.expired;
+    total.stale_serves += shard.stale_serves;
   }
   return total;
 }

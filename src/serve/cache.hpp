@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -17,6 +18,12 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t entries = 0;
+  /// Fresh lookups that found an entry but refused it because it had
+  /// aged past the TTL (a subset of `misses`).
+  std::uint64_t expired = 0;
+  /// Degraded-mode lookups answered from an entry regardless of age
+  /// (stale-while-revalidate tier; not counted in hits/misses).
+  std::uint64_t stale_serves = 0;
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -37,37 +44,60 @@ struct CacheStats {
 /// the serving layer accepts (a collision would silently serve the
 /// wrong cost — at 2^-64 per pair that is the same risk class as
 /// memory corruption).
+///
+/// Entries optionally age: with a finite TTL, get() treats an entry
+/// older than the TTL as a miss (so the next worker batch revalidates
+/// it through the oracle) but keeps it resident, and get_stale() will
+/// still serve it — the stale-while-revalidate tier the service's
+/// degraded mode answers from when the backend is unavailable. The
+/// default TTL of zero means entries never expire, which preserves the
+/// pre-resilience behavior exactly.
 class ShardedLruCache {
  public:
   /// `capacity` is the total entry budget, split evenly across shards
   /// (rounded up per shard). `num_shards` is clamped to at least 1.
-  ShardedLruCache(std::size_t capacity, std::size_t num_shards = 16);
+  /// `ttl` of zero disables aging.
+  ShardedLruCache(std::size_t capacity, std::size_t num_shards = 16,
+                  std::chrono::nanoseconds ttl = std::chrono::nanoseconds(0));
 
-  /// Lookup; refreshes the entry's LRU position on hit. Counts one hit
-  /// or one miss.
+  /// Fresh lookup; refreshes the entry's LRU position on hit. Counts
+  /// one hit or one miss. An entry past the TTL counts a miss (plus
+  /// `expired`) and stays resident for get_stale().
   std::optional<double> get(std::uint64_t key);
 
-  /// Insert or overwrite; the entry becomes most-recently-used. Evicts
-  /// the shard's least-recently-used entry when the shard is full.
+  /// Degraded-mode lookup: serves the entry regardless of age, without
+  /// touching hit/miss accounting or LRU order. Counts `stale_serves`
+  /// on success.
+  std::optional<double> get_stale(std::uint64_t key);
+
+  /// Insert or overwrite; the entry becomes most-recently-used and its
+  /// age resets. Evicts the shard's least-recently-used entry when the
+  /// shard is full.
   void put(std::uint64_t key, double value);
 
   CacheStats stats() const;
   std::size_t size() const;
   std::size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  std::chrono::nanoseconds ttl() const { return ttl_; }
   void clear();
 
  private:
+  struct Entry {
+    std::uint64_t key = 0;
+    double value = 0.0;
+    std::chrono::steady_clock::time_point stamp{};
+  };
+
   struct Shard {
     mutable std::mutex mu;
     /// Front = most recently used.
-    std::list<std::pair<std::uint64_t, double>> lru;
-    std::unordered_map<
-        std::uint64_t,
-        std::list<std::pair<std::uint64_t, double>>::iterator>
-        index;
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t stale_serves = 0;
   };
 
   Shard& shard_for(std::uint64_t key) {
@@ -76,7 +106,13 @@ class ShardedLruCache {
     return shards_[(key >> 48) % shards_.size()];
   }
 
+  bool expired(const Entry& entry,
+               std::chrono::steady_clock::time_point now) const {
+    return ttl_.count() > 0 && now - entry.stamp > ttl_;
+  }
+
   std::size_t per_shard_capacity_;
+  std::chrono::nanoseconds ttl_;
   std::vector<Shard> shards_;
 };
 

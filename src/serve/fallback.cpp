@@ -1,0 +1,48 @@
+#include "serve/fallback.hpp"
+
+#include <sstream>
+
+namespace lightnas::serve {
+
+std::string FallbackStats::to_string() const {
+  std::ostringstream oss;
+  oss << "stale=" << stale << " proxy=" << proxy
+      << " unanswered=" << unanswered;
+  return oss.str();
+}
+
+FallbackChain::FallbackChain(ShardedLruCache* stale_cache,
+                             const predictors::CostOracle* proxy)
+    : stale_cache_(stale_cache), proxy_(proxy) {}
+
+std::optional<FallbackChain::Answer> FallbackChain::answer(
+    std::uint64_t key, const space::Architecture& arch) const {
+  if (stale_cache_ != nullptr) {
+    if (const std::optional<double> stale = stale_cache_->get_stale(key)) {
+      stale_.add();
+      return Answer{*stale, FallbackSource::kStaleCache};
+    }
+  }
+  if (proxy_ != nullptr) {
+    try {
+      const double value = proxy_->predict(arch);
+      proxy_answers_.add();
+      return Answer{value, FallbackSource::kProxyOracle};
+    } catch (...) {
+      // A fallback tier must never take the service down with it; a
+      // throwing proxy simply falls through to the typed error.
+    }
+  }
+  unanswered_.add();
+  return std::nullopt;
+}
+
+FallbackStats FallbackChain::stats() const {
+  FallbackStats stats;
+  stats.stale = stale_.value();
+  stats.proxy = proxy_answers_.value();
+  stats.unanswered = unanswered_.value();
+  return stats;
+}
+
+}  // namespace lightnas::serve

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "predictors/predictor.hpp"
+#include "serve/cache.hpp"
+#include "space/architecture.hpp"
+#include "util/metrics.hpp"
+
+namespace lightnas::serve {
+
+/// Where a degraded answer came from.
+enum class FallbackSource { kStaleCache, kProxyOracle };
+
+struct FallbackStats {
+  std::uint64_t stale = 0;
+  std::uint64_t proxy = 0;
+  std::uint64_t unanswered = 0;
+
+  std::string to_string() const;
+};
+
+/// Degraded-mode answer chain for the prediction service: when the
+/// primary oracle is unavailable (circuit open, oracle threw, deadline
+/// nearly spent), try in order
+///   1. a stale cache entry for the exact architecture (yesterday's
+///      answer for the right question), then
+///   2. a cheap analytic proxy oracle (today's answer to a simpler
+///      question — typically predictors::FlopsProxyOracle),
+/// and report which tier answered so degraded traffic is observable.
+/// Both tiers are optional; with neither configured every call falls
+/// through to "unanswered" and the service delivers a typed error.
+class FallbackChain {
+ public:
+  /// Non-owning: both may be null, and both must outlive the chain.
+  FallbackChain(ShardedLruCache* stale_cache,
+                const predictors::CostOracle* proxy);
+
+  struct Answer {
+    double value = 0.0;
+    FallbackSource source = FallbackSource::kStaleCache;
+  };
+
+  /// Thread-safe (the cache is sharded-locked, the proxy must be
+  /// const-thread-safe like every CostOracle the service touches).
+  std::optional<Answer> answer(std::uint64_t key,
+                               const space::Architecture& arch) const;
+
+  FallbackStats stats() const;
+  bool has_tier() const { return stale_cache_ != nullptr || proxy_ != nullptr; }
+
+ private:
+  ShardedLruCache* stale_cache_;
+  const predictors::CostOracle* proxy_;
+  mutable util::Counter stale_;
+  mutable util::Counter proxy_answers_;
+  mutable util::Counter unanswered_;
+};
+
+}  // namespace lightnas::serve

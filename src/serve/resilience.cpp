@@ -1,0 +1,182 @@
+#include "serve/resilience.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace lightnas::serve {
+
+const char* to_string(ServiceErrorCode code) {
+  switch (code) {
+    case ServiceErrorCode::kShutdown: return "shutdown";
+    case ServiceErrorCode::kShed: return "shed";
+    case ServiceErrorCode::kDeadline: return "deadline-exceeded";
+    case ServiceErrorCode::kCircuitOpen: return "circuit-open";
+    case ServiceErrorCode::kOracleFailure: return "oracle-failure";
+  }
+  return "unknown";
+}
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config)
+    : config_(config) {
+  config_.window = std::max<std::size_t>(config_.window, 1);
+  config_.min_samples =
+      std::min(std::max<std::size_t>(config_.min_samples, 1), config_.window);
+  config_.half_open_probes =
+      std::max<std::size_t>(config_.half_open_probes, 1);
+}
+
+void CircuitBreaker::open_locked() {
+  state_ = BreakerState::kOpen;
+  opened_at_ = std::chrono::steady_clock::now();
+  outcomes_.clear();
+  window_failures_ = 0;
+  half_open_in_flight_ = 0;
+  half_open_successes_ = 0;
+  ++opens_;
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - opened_at_ < config_.cooldown) return false;
+      state_ = BreakerState::kHalfOpen;
+      half_open_in_flight_ = 0;
+      half_open_successes_ = 0;
+      [[fallthrough]];
+    }
+    case BreakerState::kHalfOpen:
+      if (half_open_in_flight_ >= config_.half_open_probes) return false;
+      ++half_open_in_flight_;
+      return true;
+  }
+  return true;
+}
+
+bool CircuitBreaker::should_shed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != BreakerState::kOpen) return false;
+  // Once the cooldown has elapsed the front door must let requests
+  // through again so worker-side allow() can run its half-open probes.
+  return std::chrono::steady_clock::now() - opened_at_ < config_.cooldown;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      outcomes_.push_back(false);
+      if (outcomes_.size() > config_.window) {
+        if (outcomes_.front()) --window_failures_;
+        outcomes_.pop_front();
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      if (half_open_in_flight_ > 0) --half_open_in_flight_;
+      if (++half_open_successes_ >= config_.half_open_probes) {
+        state_ = BreakerState::kClosed;
+        outcomes_.clear();
+        window_failures_ = 0;
+      }
+      break;
+    case BreakerState::kOpen:
+      // Straggler from a batch admitted before the trip; stale signal.
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      outcomes_.push_back(true);
+      ++window_failures_;
+      if (outcomes_.size() > config_.window) {
+        if (outcomes_.front()) --window_failures_;
+        outcomes_.pop_front();
+      }
+      if (outcomes_.size() >= config_.min_samples &&
+          static_cast<double>(window_failures_) /
+                  static_cast<double>(outcomes_.size()) >=
+              config_.failure_threshold) {
+        open_locked();
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      open_locked();
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+FaultyOracle::FaultyOracle(const predictors::CostOracle& inner,
+                           OracleFaultConfig config)
+    : inner_(inner), config_(config), rng_(config.seed) {}
+
+double FaultyOracle::roll_faults(bool& hang) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const hw::FaultSpec& spec = config_.spec;
+  if (rng_.bernoulli(spec.transient_failure_prob)) {
+    transients_.add();
+    throw std::runtime_error("injected transient oracle failure");
+  }
+  hang = rng_.bernoulli(spec.hang_prob);
+  if (hang) hangs_.add();
+  double scale = 1.0;
+  if (spec.drift_per_measurement > 0.0) {
+    drift_state_ += rng_.normal(0.0, spec.drift_per_measurement);
+    drift_state_ = std::clamp(drift_state_, 1.0 - spec.drift_max_frac,
+                              1.0 + spec.drift_max_frac);
+    scale *= drift_state_;
+  }
+  if (rng_.bernoulli(spec.outlier_prob)) {
+    scale *= rng_.uniform(spec.outlier_scale_lo, spec.outlier_scale_hi);
+  }
+  return scale;
+}
+
+double FaultyOracle::predict(const space::Architecture& arch) const {
+  if (!storm()) return inner_.predict(arch);
+  bool hang = false;
+  const double scale = roll_faults(hang);
+  if (hang) std::this_thread::sleep_for(config_.hang_duration);
+  return inner_.predict(arch) * scale;
+}
+
+std::vector<double> FaultyOracle::predict_batch(
+    const std::vector<space::Architecture>& archs) const {
+  if (!storm()) return inner_.predict_batch(archs);
+  bool hang = false;
+  const double scale = roll_faults(hang);
+  if (hang) std::this_thread::sleep_for(config_.hang_duration);
+  std::vector<double> values = inner_.predict_batch(archs);
+  if (scale != 1.0) {
+    for (double& value : values) value *= scale;
+  }
+  return values;
+}
+
+}  // namespace lightnas::serve

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hw/simulator.hpp"
+#include "predictors/predictor.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::serve {
+
+/// Why a request resolved without a fresh prediction. Every failure the
+/// service can hand a client is one of these — clients never see a bare
+/// std::runtime_error from the serving layer, and never see a broken
+/// promise.
+enum class ServiceErrorCode {
+  kShutdown,       ///< submitted to (or parked in) a stopping service
+  kShed,           ///< dropped by the queue-overflow policy
+  kDeadline,       ///< expired before a worker could answer it
+  kCircuitOpen,    ///< breaker open and no fallback tier could answer
+  kOracleFailure,  ///< backend threw and no fallback tier could answer
+};
+
+const char* to_string(ServiceErrorCode code);
+
+/// Typed serving error, delivered through the request's promise (or
+/// thrown from submit() for the shutdown case). Derives from
+/// std::runtime_error so pre-resilience callers that caught that still
+/// work; resilience-aware callers switch on code().
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ServiceErrorCode code, const std::string& detail)
+      : std::runtime_error(std::string(to_string(code)) + ": " + detail),
+        code_(code) {}
+
+  ServiceErrorCode code() const { return code_; }
+
+ private:
+  ServiceErrorCode code_;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState state);
+
+/// Rolling-window circuit breaker configuration. Disabled by default so
+/// a default-constructed ServiceConfig behaves exactly like the
+/// pre-resilience service.
+struct BreakerConfig {
+  bool enabled = false;
+  /// Rolling window of recent oracle-batch outcomes examined in the
+  /// closed state.
+  std::size_t window = 32;
+  /// Minimum outcomes in the window before the failure rate is trusted.
+  std::size_t min_samples = 8;
+  /// Open when (failures / window outcomes) >= this.
+  double failure_threshold = 0.5;
+  /// Open -> half-open after this long without traffic reaching the
+  /// backend.
+  std::chrono::milliseconds cooldown{250};
+  /// Probe batches admitted in half-open; this many consecutive
+  /// successes close the breaker, any failure reopens it.
+  std::size_t half_open_probes = 3;
+};
+
+/// Closed -> open -> half-open circuit breaker around a failing backend.
+///
+/// Workers call allow() once per oracle batch and record the outcome;
+/// the submit() front door calls should_shed() to fail fast while the
+/// breaker is open. All transitions happen under one mutex — the
+/// breaker is consulted per *batch*, not per request, so this is far
+/// off the hot path.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config);
+
+  /// Worker-side admission. Transitions open -> half-open once the
+  /// cooldown has elapsed; in half-open admits up to
+  /// `half_open_probes` in-flight probe batches.
+  bool allow();
+
+  /// Front-door check: true while the breaker is open and cooling down
+  /// (requests should be answered degraded without queueing). Never
+  /// consumes a half-open probe slot.
+  bool should_shed();
+
+  void record_success();
+  void record_failure();
+
+  BreakerState state() const;
+  std::uint64_t opens() const;
+
+ private:
+  void open_locked();
+
+  BreakerConfig config_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::deque<bool> outcomes_;  // true = failure (closed-state window)
+  std::size_t window_failures_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  std::size_t half_open_in_flight_ = 0;
+  std::size_t half_open_successes_ = 0;
+  std::uint64_t opens_ = 0;
+};
+
+/// Fault-injection knobs for FaultyOracle, reusing the hw::FaultSpec
+/// vocabulary (transients, hangs, drift, outliers) so chaos tests of
+/// the serving layer speak the same language as the measurement
+/// campaigns.
+struct OracleFaultConfig {
+  hw::FaultSpec spec;
+  /// How long an injected hang stalls the calling worker. Real hangs
+  /// are unbounded; a finite stall keeps tests terminating while still
+  /// tripping deadline/watchdog machinery.
+  std::chrono::milliseconds hang_duration{50};
+  std::uint64_t seed = 0x5eedf00d;
+};
+
+/// Chaos-testing decorator over any CostOracle: injects transient
+/// failures (throws), hangs (bounded stalls), calibration drift and
+/// outlier scaling into predict()/predict_batch(), gated by an atomic
+/// storm switch. With the storm off the decorator is a bit-exact
+/// passthrough. Thread-safe: fault dice and drift state live under one
+/// mutex; the injected stall happens outside it.
+class FaultyOracle : public predictors::CostOracle {
+ public:
+  FaultyOracle(const predictors::CostOracle& inner, OracleFaultConfig config);
+
+  /// Toggle fault injection. Off (the default) = exact passthrough.
+  void set_storm(bool active) {
+    storm_.store(active, std::memory_order_relaxed);
+  }
+  bool storm() const { return storm_.load(std::memory_order_relaxed); }
+
+  double predict(const space::Architecture& arch) const override;
+  std::vector<double> predict_batch(
+      const std::vector<space::Architecture>& archs) const override;
+  std::string unit() const override { return inner_.unit(); }
+
+  std::uint64_t transients_injected() const {
+    return transients_.value();
+  }
+  std::uint64_t hangs_injected() const { return hangs_.value(); }
+
+ private:
+  /// Roll the per-call fault dice; returns the multiplicative value
+  /// scale to apply (1.0 when clean) and whether to hang. Throws for a
+  /// transient. One roll per batch: a batched forward is one
+  /// measurement attempt, exactly like one hw measurement.
+  double roll_faults(bool& hang) const;
+
+  const predictors::CostOracle& inner_;
+  OracleFaultConfig config_;
+  std::atomic<bool> storm_{false};
+  mutable std::mutex mu_;
+  mutable util::Rng rng_;
+  mutable double drift_state_ = 1.0;
+  mutable util::Counter transients_;
+  mutable util::Counter hangs_;
+};
+
+}  // namespace lightnas::serve

@@ -78,6 +78,77 @@ LoadResult run_closed_loop(PredictionService& service,
   return result;
 }
 
+ResilientLoadResult run_resilient_closed_loop(
+    PredictionService& service, const std::vector<space::Architecture>& pool,
+    const ZipfSampler& zipf, std::size_t num_clients,
+    std::size_t requests_per_client, std::uint64_t seed,
+    std::chrono::milliseconds wait_budget) {
+  assert(!pool.empty());
+  assert(num_clients > 0);
+  struct ClientTally {
+    std::size_t values = 0;
+    std::size_t typed_errors = 0;
+    std::size_t other_errors = 0;
+    std::size_t unresolved = 0;
+    double checksum = 0.0;
+  };
+  std::mutex tally_mu;
+  ClientTally total;
+  util::Histogram wait_us = util::Histogram::geometric(1.0, 1e8);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&] {
+      util::Rng rng = util::make_thread_rng(seed);
+      ClientTally tally;
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        const space::Architecture& arch = pool[zipf.sample(rng)];
+        const auto issued = std::chrono::steady_clock::now();
+        try {
+          std::future<double> future = service.submit(arch);
+          if (future.wait_for(wait_budget) != std::future_status::ready) {
+            // Do not block on a wedged future — count it and move on;
+            // the promise (if ever set) resolves into a discarded
+            // shared state.
+            ++tally.unresolved;
+          } else {
+            tally.checksum += future.get();
+            ++tally.values;
+          }
+        } catch (const ServiceError&) {
+          ++tally.typed_errors;
+        } catch (...) {
+          ++tally.other_errors;
+        }
+        wait_us.record(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - issued)
+                           .count());
+      }
+      std::lock_guard<std::mutex> lock(tally_mu);
+      total.values += tally.values;
+      total.typed_errors += tally.typed_errors;
+      total.other_errors += tally.other_errors;
+      total.unresolved += tally.unresolved;
+      total.checksum += tally.checksum;
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  ResilientLoadResult result;
+  result.requests = num_clients * requests_per_client;
+  result.values = total.values;
+  result.typed_errors = total.typed_errors;
+  result.other_errors = total.other_errors;
+  result.unresolved = total.unresolved;
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.checksum = total.checksum;
+  result.wait_us = wait_us.snapshot();
+  return result;
+}
+
 LoadResult run_sequential_baseline(
     const predictors::CostOracle& oracle,
     const std::vector<space::Architecture>& pool, const ZipfSampler& zipf,

@@ -66,4 +66,44 @@ LoadResult run_sequential_baseline(
     const std::vector<space::Architecture>& pool, const ZipfSampler& zipf,
     std::size_t requests, std::uint64_t seed);
 
+/// Outcome of one resilience-aware load run: every request is accounted
+/// for as a value, a typed ServiceError, an untyped error, or
+/// unresolved (its future never became ready within the wait budget —
+/// the deadlock signal the chaos gate watches for).
+struct ResilientLoadResult {
+  std::size_t requests = 0;
+  std::size_t values = 0;
+  std::size_t typed_errors = 0;
+  std::size_t other_errors = 0;
+  std::size_t unresolved = 0;
+  double wall_seconds = 0.0;
+  double checksum = 0.0;
+  /// Client-observed submit -> outcome wait, in microseconds
+  /// (unresolved requests record the full wait budget).
+  util::HistogramSnapshot wait_us;
+
+  /// Fraction of requests that received *some* answer — a value or a
+  /// typed error — within the wait budget. The SLO gate's headline.
+  double resolved_ratio() const {
+    return requests == 0
+               ? 1.0
+               : static_cast<double>(values + typed_errors) /
+                     static_cast<double>(requests);
+  }
+  double qps() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(requests) / wall_seconds;
+  }
+};
+
+/// Closed-loop load that never wedges on a sick service: each client
+/// waits at most `wait_budget` per request, classifies the outcome, and
+/// moves on. Submit-side ServiceErrors (shutdown) count as typed
+/// errors.
+ResilientLoadResult run_resilient_closed_loop(
+    PredictionService& service, const std::vector<space::Architecture>& pool,
+    const ZipfSampler& zipf, std::size_t num_clients,
+    std::size_t requests_per_client, std::uint64_t seed,
+    std::chrono::milliseconds wait_budget);
+
 }  // namespace lightnas::serve

@@ -22,6 +22,25 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Last-value-wins gauge for levels that go up and down (active workers,
+/// breaker state). Same relaxed-atomic discipline as Counter: writers
+/// never block, readers see a recent value.
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 /// Point-in-time view of a Histogram (see below). Quantiles are
 /// estimated by linear interpolation inside the bucket where the rank
 /// falls — exact to within one bucket's resolution.

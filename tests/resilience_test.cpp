@@ -1,0 +1,797 @@
+// Tests for the serving resilience layer: circuit breaker state
+// machine, chaos-injection oracle, FLOPs-proxy fallback, cache TTL /
+// stale tier, deadlines, shed policies, worker watchdog, and the
+// shutdown edge cases. Everything here must stay clean under
+// ThreadSanitizer (LIGHTNAS_TSAN=ON).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "predictors/oracle.hpp"
+#include "serve/cache.hpp"
+#include "serve/fallback.hpp"
+#include "serve/resilience.hpp"
+#include "serve/service.hpp"
+#include "space/flops.hpp"
+#include "space/search_space.hpp"
+#include "util/rng.hpp"
+
+namespace lightnas::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+double arch_value(const space::Architecture& arch) {
+  return static_cast<double>(arch.fingerprint() % 1000) / 10.0;
+}
+
+/// Deterministic, instant oracle.
+class ValueOracle : public predictors::CostOracle {
+ public:
+  double predict(const space::Architecture& arch) const override {
+    return arch_value(arch);
+  }
+  std::string unit() const override { return "ms"; }
+};
+
+/// Blocks every predict() until open() — parks a worker on demand so
+/// tests can fill the queue behind it deterministically.
+class GatedOracle : public predictors::CostOracle {
+ public:
+  double predict(const space::Architecture& arch) const override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+    return arch_value(arch);
+  }
+  std::string unit() const override { return "ms"; }
+
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// Throws for the first `fail_first` predict() calls, then succeeds.
+/// fail_first = "infinite" makes it an always-failing backend.
+class FlakyOracle : public predictors::CostOracle {
+ public:
+  explicit FlakyOracle(std::uint64_t fail_first) : fail_first_(fail_first) {}
+
+  double predict(const space::Architecture& arch) const override {
+    if (calls_.fetch_add(1, std::memory_order_relaxed) < fail_first_) {
+      throw std::runtime_error("injected backend failure");
+    }
+    return arch_value(arch);
+  }
+  std::string unit() const override { return "ms"; }
+  std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t fail_first_;
+  mutable std::atomic<std::uint64_t> calls_{0};
+};
+
+/// First predict() succeeds, every later one throws — seeds the cache
+/// once, then forces the degraded path.
+class SucceedThenFailOracle : public predictors::CostOracle {
+ public:
+  double predict(const space::Architecture& arch) const override {
+    if (calls_.fetch_add(1, std::memory_order_relaxed) > 0) {
+      throw std::runtime_error("backend went away");
+    }
+    return arch_value(arch);
+  }
+  std::string unit() const override { return "ms"; }
+
+ private:
+  mutable std::atomic<std::uint64_t> calls_{0};
+};
+
+/// First predict() stalls for `hang`; later calls are instant.
+class HangOnceOracle : public predictors::CostOracle {
+ public:
+  explicit HangOnceOracle(std::chrono::milliseconds hang) : hang_(hang) {}
+
+  double predict(const space::Architecture& arch) const override {
+    if (!hung_.exchange(true, std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(hang_);
+    }
+    return arch_value(arch);
+  }
+  std::string unit() const override { return "ms"; }
+
+ private:
+  std::chrono::milliseconds hang_;
+  mutable std::atomic<bool> hung_{false};
+};
+
+ServiceErrorCode code_of(std::future<double>& future) {
+  try {
+    future.get();
+  } catch (const ServiceError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "future resolved with a value, expected ServiceError";
+  return ServiceErrorCode::kShutdown;
+}
+
+space::Architecture arch_at(const space::SearchSpace& space,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  return space.random_architecture(rng);
+}
+
+// --- circuit breaker state machine -----------------------------------
+
+BreakerConfig test_breaker_config() {
+  BreakerConfig config;
+  config.enabled = true;
+  config.window = 8;
+  config.min_samples = 4;
+  config.failure_threshold = 0.5;
+  config.cooldown = 50ms;
+  config.half_open_probes = 2;
+  return config;
+}
+
+TEST(CircuitBreaker, OpensAtThresholdNotBefore) {
+  CircuitBreaker breaker(test_breaker_config());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_FALSE(breaker.should_shed());
+
+  breaker.record_failure();
+  breaker.record_failure();
+  breaker.record_failure();
+  // 3 outcomes < min_samples=4: failure rate not yet trusted.
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_TRUE(breaker.should_shed());
+}
+
+TEST(CircuitBreaker, SuccessesDiluteTheWindow) {
+  CircuitBreaker breaker(test_breaker_config());
+  // 3 failures / 8 outcomes = 0.375 < 0.5: stays closed at full window.
+  for (int i = 0; i < 5; ++i) breaker.record_success();
+  for (int i = 0; i < 3; ++i) breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // Two more failures roll successes out of the window: 5/8 >= 0.5.
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreaker, HalfOpenProbesCloseOnSuccess) {
+  CircuitBreaker breaker(test_breaker_config());
+  for (int i = 0; i < 4; ++i) breaker.record_failure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  std::this_thread::sleep_for(70ms);  // cooldown (50ms) elapses
+  EXPECT_FALSE(breaker.should_shed());
+  EXPECT_TRUE(breaker.allow());  // open -> half-open, probe 1
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow());   // probe 2
+  EXPECT_FALSE(breaker.allow());  // probes maxed in flight
+
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.opens(), 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopens) {
+  CircuitBreaker breaker(test_breaker_config());
+  for (int i = 0; i < 4; ++i) breaker.record_failure();
+  std::this_thread::sleep_for(70ms);
+  ASSERT_TRUE(breaker.allow());
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_TRUE(breaker.should_shed());
+}
+
+// --- chaos-injection oracle ------------------------------------------
+
+TEST(FaultyOracle, StormOffIsExactPassthrough) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const ValueOracle inner;
+  const FaultyOracle faulty(inner, OracleFaultConfig{});
+
+  util::Rng rng(3);
+  std::vector<space::Architecture> archs;
+  for (int i = 0; i < 16; ++i) archs.push_back(space.random_architecture(rng));
+  for (const space::Architecture& arch : archs) {
+    EXPECT_EQ(faulty.predict(arch), inner.predict(arch));
+  }
+  EXPECT_EQ(faulty.predict_batch(archs), inner.predict_batch(archs));
+  EXPECT_EQ(faulty.unit(), inner.unit());
+  EXPECT_EQ(faulty.transients_injected(), 0u);
+}
+
+TEST(FaultyOracle, InjectsTransientsWhenStormActive) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const ValueOracle inner;
+  OracleFaultConfig config;
+  config.spec.transient_failure_prob = 1.0;
+  FaultyOracle faulty(inner, config);
+  faulty.set_storm(true);
+
+  EXPECT_THROW(faulty.predict(arch_at(space, 1)), std::runtime_error);
+  EXPECT_THROW(faulty.predict_batch({arch_at(space, 2)}), std::runtime_error);
+  EXPECT_EQ(faulty.transients_injected(), 2u);
+
+  faulty.set_storm(false);
+  EXPECT_EQ(faulty.predict(arch_at(space, 1)),
+            inner.predict(arch_at(space, 1)));
+}
+
+TEST(FaultyOracle, InjectsBoundedHangs) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const ValueOracle inner;
+  OracleFaultConfig config;
+  config.spec.hang_prob = 1.0;
+  config.hang_duration = 30ms;
+  FaultyOracle faulty(inner, config);
+  faulty.set_storm(true);
+
+  const auto start = std::chrono::steady_clock::now();
+  const double value = faulty.predict(arch_at(space, 4));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, 25ms);
+  EXPECT_EQ(value, inner.predict(arch_at(space, 4)));
+  EXPECT_GE(faulty.hangs_injected(), 1u);
+}
+
+// --- FLOPs-proxy fallback oracle -------------------------------------
+
+TEST(FlopsProxyOracle, CalibrationRecoversALinearBackend) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+
+  /// Reference whose cost is exactly linear in GMACs.
+  class LinearOracle : public predictors::CostOracle {
+   public:
+    explicit LinearOracle(const space::SearchSpace& space) : space_(&space) {}
+    double predict(const space::Architecture& arch) const override {
+      return 2.5 * (space::count_macs(*space_, arch) / 1e9) + 3.0;
+    }
+    std::string unit() const override { return "ms"; }
+
+   private:
+    const space::SearchSpace* space_;
+  };
+  const LinearOracle reference(space);
+
+  util::Rng rng(11);
+  std::vector<space::Architecture> sample;
+  for (int i = 0; i < 48; ++i) sample.push_back(space.random_architecture(rng));
+  const predictors::FlopsProxyOracle proxy =
+      predictors::FlopsProxyOracle::calibrated(space, reference, sample);
+
+  EXPECT_NEAR(proxy.per_gmac(), 2.5, 1e-6);
+  EXPECT_NEAR(proxy.offset(), 3.0, 1e-6);
+  for (int i = 0; i < 8; ++i) {
+    const space::Architecture arch = space.random_architecture(rng);
+    EXPECT_NEAR(proxy.predict(arch), reference.predict(arch), 1e-6);
+  }
+  EXPECT_EQ(proxy.unit(), "ms");
+}
+
+TEST(FlopsProxyOracle, RejectsEmptyCalibrationSample) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const ValueOracle reference;
+  EXPECT_THROW(
+      predictors::FlopsProxyOracle::calibrated(space, reference, {}),
+      std::invalid_argument);
+}
+
+// --- cache TTL + stale tier ------------------------------------------
+
+TEST(ShardedLruCache, TtlExpiresFreshReadsButKeepsEntryResident) {
+  ShardedLruCache cache(8, 1, 30ms);
+  cache.put(1, 1.5);
+  ASSERT_TRUE(cache.get(1).has_value());
+  std::this_thread::sleep_for(50ms);
+
+  // Expired: fresh read misses (and counts the expiry)...
+  EXPECT_FALSE(cache.get(1).has_value());
+  const CacheStats after_expiry = cache.stats();
+  EXPECT_EQ(after_expiry.expired, 1u);
+  EXPECT_EQ(after_expiry.misses, 1u);
+  // ...but the stale tier still serves it.
+  const std::optional<double> stale = cache.get_stale(1);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(*stale, 1.5);
+  EXPECT_EQ(cache.stats().stale_serves, 1u);
+
+  // Revalidation: put() resets the entry's age.
+  cache.put(1, 2.5);
+  ASSERT_TRUE(cache.get(1).has_value());
+  EXPECT_EQ(*cache.get(1), 2.5);
+}
+
+TEST(ShardedLruCache, ZeroTtlNeverExpires) {
+  ShardedLruCache cache(8, 1);  // default ttl = 0
+  cache.put(1, 1.0);
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_EQ(cache.stats().expired, 0u);
+}
+
+TEST(FallbackChain, PrefersStaleOverProxyAndReportsNoTier) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const space::Architecture arch = arch_at(space, 9);
+  const predictors::FlopsProxyOracle proxy(space, "ms", 2.0, 1.0);
+
+  ShardedLruCache cache(8, 1, 1ms);
+  cache.put(arch.fingerprint(), 42.0);
+  std::this_thread::sleep_for(5ms);  // entry is now stale
+
+  FallbackChain chain(&cache, &proxy);
+  ASSERT_TRUE(chain.has_tier());
+  const auto stale = chain.answer(arch.fingerprint(), arch);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(stale->value, 42.0);
+  EXPECT_EQ(stale->source, FallbackSource::kStaleCache);
+
+  // Unknown key: falls through to the proxy.
+  const auto proxied = chain.answer(arch.fingerprint() + 1, arch);
+  ASSERT_TRUE(proxied.has_value());
+  EXPECT_EQ(proxied->value, proxy.predict(arch));
+  EXPECT_EQ(proxied->source, FallbackSource::kProxyOracle);
+
+  const FallbackChain empty(nullptr, nullptr);
+  EXPECT_FALSE(empty.has_tier());
+  EXPECT_FALSE(empty.answer(1, arch).has_value());
+}
+
+// --- config validation ------------------------------------------------
+
+TEST(ServiceConfigValidation, RejectsNonsensicalSettings) {
+  const auto invalid = [](auto&& mutate) {
+    ServiceConfig config;
+    mutate(config);
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+  };
+  invalid([](ServiceConfig& c) { c.num_workers = 0; });
+  invalid([](ServiceConfig& c) { c.max_batch = 0; });
+  invalid([](ServiceConfig& c) { c.queue_capacity = 0; });
+  invalid([](ServiceConfig& c) { c.cache_shards = 0; });
+  invalid([](ServiceConfig& c) { c.overflow = OverflowPolicy::kShedNewest; });
+  invalid([](ServiceConfig& c) { c.overflow = OverflowPolicy::kShedOldest; });
+  invalid([](ServiceConfig& c) {
+    c.breaker.enabled = true;
+    c.breaker.failure_threshold = 0.0;
+  });
+  invalid([](ServiceConfig& c) {
+    c.breaker.enabled = true;
+    c.breaker.cooldown = 0ms;
+  });
+  invalid([](ServiceConfig& c) {
+    c.worker_stall_timeout = 100ms;
+    c.watchdog_interval = 0ms;
+  });
+
+  ServiceConfig valid;
+  EXPECT_NO_THROW(valid.validate());
+  valid.overflow = OverflowPolicy::kShedOldest;
+  valid.default_deadline = 100ms;
+  EXPECT_NO_THROW(valid.validate());
+}
+
+TEST(ServiceConfigValidation, ConstructorRunsValidation) {
+  const ValueOracle oracle;
+  ServiceConfig config;
+  config.num_workers = 0;
+  EXPECT_THROW(PredictionService(oracle, config), std::invalid_argument);
+}
+
+// --- worker exception containment (the deadlock-hazard regression) ----
+
+TEST(PredictionService, OracleExceptionIsDeliveredNotDeadlocked) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const FlakyOracle oracle(/*fail_first=*/1);
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.cache_capacity = 0;
+  PredictionService service(oracle, config);
+
+  // The worker's predict_batch throws: the promise must carry a typed
+  // error instead of leaving the client waiting forever.
+  std::future<double> failed = service.submit(arch_at(space, 20));
+  ASSERT_EQ(failed.wait_for(5s), std::future_status::ready);
+  EXPECT_EQ(code_of(failed), ServiceErrorCode::kOracleFailure);
+
+  // And the worker survived the exception: the next request succeeds.
+  const space::Architecture next = arch_at(space, 21);
+  EXPECT_EQ(service.predict(next), arch_value(next));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.oracle_failures, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.resolved(), 2u);
+}
+
+// --- deadlines --------------------------------------------------------
+
+TEST(PredictionService, ExpiredRequestsDropAtDequeueWithTypedError) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  GatedOracle oracle;
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.max_batch = 1;
+  config.cache_capacity = 0;
+  config.default_deadline = 30ms;
+  PredictionService service(oracle, config);
+
+  // r0 is dequeued immediately and parks the only worker in the oracle.
+  const space::Architecture a0 = arch_at(space, 30);
+  std::future<double> f0 = service.submit(a0);
+  std::this_thread::sleep_for(10ms);  // let the worker pick r0 up
+  // r1/r2 sit in the queue past their 30ms deadline.
+  std::future<double> f1 = service.submit(arch_at(space, 31));
+  std::future<double> f2 = service.submit(arch_at(space, 32));
+  std::this_thread::sleep_for(60ms);
+  oracle.open();
+
+  // r0 was dequeued before expiry: it still gets its value (late, so it
+  // counts against the deadline hit ratio but is not dropped).
+  EXPECT_EQ(f0.get(), arch_value(a0));
+  EXPECT_EQ(code_of(f1), ServiceErrorCode::kDeadline);
+  EXPECT_EQ(code_of(f2), ServiceErrorCode::kDeadline);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired, 2u);
+  EXPECT_EQ(stats.deadline_total, 3u);
+  EXPECT_LT(stats.deadline_hit_ratio(), 1.0);
+}
+
+TEST(PredictionService, FastRequestsBeatTheirDeadline) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const ValueOracle oracle;
+  ServiceConfig config;
+  config.default_deadline = 10000ms;
+  PredictionService service(oracle, config);
+  for (int i = 0; i < 8; ++i) {
+    const space::Architecture arch = arch_at(space, 40 + i);
+    EXPECT_EQ(service.predict(arch), arch_value(arch));
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.deadline_total, 8u);
+  EXPECT_EQ(stats.deadline_hit_ratio(), 1.0);
+}
+
+// --- shed policies ----------------------------------------------------
+
+TEST(PredictionService, ShedOldestEvictsTheOldestQueuedRequest) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  GatedOracle oracle;
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.max_batch = 1;
+  config.queue_capacity = 2;
+  config.cache_capacity = 0;
+  config.overflow = OverflowPolicy::kShedOldest;
+  config.default_deadline = 10000ms;
+  PredictionService service(oracle, config);
+
+  const space::Architecture a0 = arch_at(space, 50);
+  const space::Architecture a2 = arch_at(space, 52);
+  const space::Architecture a3 = arch_at(space, 53);
+  std::future<double> f0 = service.submit(a0);  // parked in the oracle
+  std::this_thread::sleep_for(10ms);
+  std::future<double> f1 = service.submit(arch_at(space, 51));
+  std::future<double> f2 = service.submit(a2);  // queue now full
+  std::future<double> f3 = service.submit(a3);  // evicts r1, no waiting
+
+  // The evicted request resolves with a typed shed error immediately.
+  ASSERT_EQ(f1.wait_for(1s), std::future_status::ready);
+  EXPECT_EQ(code_of(f1), ServiceErrorCode::kShed);
+
+  oracle.open();
+  EXPECT_EQ(f0.get(), arch_value(a0));
+  EXPECT_EQ(f2.get(), arch_value(a2));
+  EXPECT_EQ(f3.get(), arch_value(a3));
+  EXPECT_EQ(service.stats().shed, 1u);
+}
+
+TEST(PredictionService, ShedNewestShedsItselfAfterBoundedWait) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  GatedOracle oracle;
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.max_batch = 1;
+  config.queue_capacity = 1;
+  config.cache_capacity = 0;
+  config.overflow = OverflowPolicy::kShedNewest;
+  config.default_deadline = 50ms;
+  PredictionService service(oracle, config);
+
+  const space::Architecture a0 = arch_at(space, 60);
+  std::future<double> f0 = service.submit(a0);  // parked in the oracle
+  std::this_thread::sleep_for(10ms);
+  std::future<double> f1 = service.submit(arch_at(space, 61));  // fills queue
+
+  // The queue stays full: this submit waits at most its deadline, then
+  // sheds itself instead of blocking forever.
+  const auto start = std::chrono::steady_clock::now();
+  std::future<double> f2 = service.submit(arch_at(space, 62));
+  const auto waited = std::chrono::steady_clock::now() - start;
+  ASSERT_EQ(f2.wait_for(1s), std::future_status::ready);
+  EXPECT_EQ(code_of(f2), ServiceErrorCode::kShed);
+  EXPECT_LT(waited, 2s);
+
+  oracle.open();
+  EXPECT_EQ(f0.get(), arch_value(a0));
+  // r1 aged past its own 50ms deadline while we provoked the shed.
+  EXPECT_EQ(code_of(f1), ServiceErrorCode::kDeadline);
+  EXPECT_GE(service.stats().shed, 1u);
+}
+
+// --- circuit breaker integration -------------------------------------
+
+TEST(PredictionService, BreakerOpensAndFailsFastWithoutBackendCalls) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const FlakyOracle oracle(/*fail_first=*/1000000);
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.cache_capacity = 0;
+  config.breaker.enabled = true;
+  config.breaker.window = 4;
+  config.breaker.min_samples = 2;
+  config.breaker.failure_threshold = 0.5;
+  config.breaker.cooldown = 60000ms;  // stays open for the whole test
+  PredictionService service(oracle, config);
+
+  // Two failing batches trip the breaker...
+  std::future<double> f0 = service.submit(arch_at(space, 70));
+  EXPECT_EQ(code_of(f0), ServiceErrorCode::kOracleFailure);
+  std::future<double> f1 = service.submit(arch_at(space, 71));
+  EXPECT_EQ(code_of(f1), ServiceErrorCode::kOracleFailure);
+  const std::uint64_t calls_when_open = oracle.calls();
+  EXPECT_EQ(service.stats().breaker_state, BreakerState::kOpen);
+
+  // ...after which requests fail fast at the front door: typed errors
+  // with zero additional backend traffic.
+  for (int i = 0; i < 8; ++i) {
+    std::future<double> f = service.submit(arch_at(space, 72 + i));
+    ASSERT_EQ(f.wait_for(1s), std::future_status::ready);
+    EXPECT_EQ(code_of(f), ServiceErrorCode::kCircuitOpen);
+  }
+  EXPECT_EQ(oracle.calls(), calls_when_open);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.oracle_failures, 2u);
+}
+
+TEST(PredictionService, BreakerRecoversThroughHalfOpenProbes) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const FlakyOracle oracle(/*fail_first=*/2);
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.cache_capacity = 0;
+  config.breaker.enabled = true;
+  config.breaker.window = 4;
+  config.breaker.min_samples = 2;
+  config.breaker.failure_threshold = 0.5;
+  config.breaker.cooldown = 80ms;
+  config.breaker.half_open_probes = 1;
+  PredictionService service(oracle, config);
+
+  std::future<double> f0 = service.submit(arch_at(space, 80));
+  EXPECT_EQ(code_of(f0), ServiceErrorCode::kOracleFailure);
+  std::future<double> f1 = service.submit(arch_at(space, 81));
+  EXPECT_EQ(code_of(f1), ServiceErrorCode::kOracleFailure);
+  ASSERT_EQ(service.stats().breaker_state, BreakerState::kOpen);
+
+  std::this_thread::sleep_for(120ms);  // cooldown elapses; backend healed
+  const space::Architecture probe = arch_at(space, 82);
+  EXPECT_EQ(service.predict(probe), arch_value(probe));  // half-open probe
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.breaker_state, BreakerState::kClosed);
+  EXPECT_EQ(stats.breaker_opens, 1u);
+}
+
+// --- graceful degradation --------------------------------------------
+
+TEST(PredictionService, ProxyFallbackAnswersWhenBackendFails) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const FlakyOracle oracle(/*fail_first=*/1000000);
+  const predictors::FlopsProxyOracle proxy(space, "ms", 2.0, 1.0);
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.cache_capacity = 0;  // no stale tier: proxy answers directly
+  config.fallback_oracle = &proxy;
+  PredictionService service(oracle, config);
+
+  const space::Architecture arch = arch_at(space, 90);
+  EXPECT_EQ(service.predict(arch), proxy.predict(arch));
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.degraded_proxy, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.oracle_failures, 1u);
+}
+
+TEST(PredictionService, StaleCacheTierServesExpiredEntriesWhenDegraded) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const SucceedThenFailOracle oracle;
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.cache_ttl = 30ms;
+  PredictionService service(oracle, config);
+
+  // First query computes and caches the value.
+  const space::Architecture arch = arch_at(space, 95);
+  const double fresh = service.predict(arch);
+  EXPECT_EQ(fresh, arch_value(arch));
+
+  // Entry expires; backend now fails; the stale tier serves the old
+  // value instead of surfacing the failure.
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(service.predict(arch), fresh);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.degraded_stale, 1u);
+  EXPECT_GE(stats.cache.expired, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+// --- worker watchdog --------------------------------------------------
+
+TEST(PredictionService, WatchdogRespawnsAStalledWorker) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const HangOnceOracle oracle(300ms);
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.cache_capacity = 0;
+  config.worker_stall_timeout = 50ms;
+  config.watchdog_interval = 10ms;
+  PredictionService service(oracle, config);
+
+  // r0 parks the only worker inside the oracle for 300ms — far past the
+  // 50ms stall timeout.
+  const space::Architecture a0 = arch_at(space, 100);
+  std::future<double> f0 = service.submit(a0);
+
+  // The watchdog must notice and spawn a replacement.
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (service.stats().worker_respawns == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_GE(service.stats().worker_respawns, 1u);
+
+  // The replacement keeps the service live while the original is stuck.
+  const space::Architecture a1 = arch_at(space, 101);
+  std::future<double> f1 = service.submit(a1);
+  ASSERT_EQ(f1.wait_for(2s), std::future_status::ready);
+  EXPECT_EQ(f1.get(), arch_value(a1));
+
+  // The hung batch still resolves once the injected hang ends — retire
+  // means "no more batches", never "drop the one you hold".
+  ASSERT_EQ(f0.wait_for(2s), std::future_status::ready);
+  EXPECT_EQ(f0.get(), arch_value(a0));
+}
+
+// --- shutdown edge cases ---------------------------------------------
+
+TEST(PredictionService, ShutdownReleasesClientsParkedInSubmit) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  GatedOracle oracle;
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.max_batch = 1;
+  config.queue_capacity = 1;
+  config.cache_capacity = 0;
+  PredictionService service(oracle, config);
+
+  const space::Architecture a0 = arch_at(space, 110);
+  std::future<double> f0 = service.submit(a0);  // parked in the oracle
+  std::this_thread::sleep_for(10ms);
+  std::future<double> f1 = service.submit(arch_at(space, 111));  // queue full
+
+  // This client parks inside submit() waiting for queue space.
+  std::future<ServiceErrorCode> parked =
+      std::async(std::launch::async, [&service, &space] {
+        try {
+          service.submit(arch_at(space, 112));
+        } catch (const ServiceError& e) {
+          return e.code();
+        }
+        return ServiceErrorCode::kOracleFailure;  // wrong outcome
+      });
+  std::this_thread::sleep_for(50ms);
+
+  // Shutdown must release the parked client promptly with a typed error
+  // even while the worker is still stuck inside the oracle.
+  std::thread stopper([&service] { service.shutdown(); });
+  ASSERT_EQ(parked.wait_for(2s), std::future_status::ready);
+  EXPECT_EQ(parked.get(), ServiceErrorCode::kShutdown);
+
+  oracle.open();  // let the worker drain and shutdown complete
+  stopper.join();
+
+  // Drained work still resolved with values.
+  EXPECT_EQ(f0.get(), arch_value(a0));
+  ASSERT_EQ(f1.wait_for(2s), std::future_status::ready);
+  EXPECT_NO_THROW(f1.get());
+}
+
+TEST(PredictionService, SubmitAfterShutdownThrowsTypedError) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const ValueOracle oracle;
+  PredictionService service(oracle);
+  service.shutdown();
+  try {
+    service.submit(arch_at(space, 120));
+    FAIL() << "submit after shutdown must throw";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::kShutdown);
+  }
+}
+
+TEST(PredictionService, ConcurrentAndRepeatedShutdownIsHarmless) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const ValueOracle oracle;
+  auto service = std::make_unique<PredictionService>(oracle);
+  const space::Architecture arch = arch_at(space, 130);
+  EXPECT_EQ(service->predict(arch), arch_value(arch));
+
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&service] { service->shutdown(); });
+  }
+  for (std::thread& stopper : stoppers) stopper.join();
+  service->shutdown();
+  service.reset();  // destructor runs shutdown once more
+}
+
+TEST(PredictionService, WatchdogShutsDownCleanlyWhileIdle) {
+  const ValueOracle oracle;
+  ServiceConfig config;
+  config.worker_stall_timeout = 50ms;
+  config.watchdog_interval = 5ms;
+  {
+    PredictionService service(oracle, config);
+    std::this_thread::sleep_for(100ms);  // idle workers must not stall
+    EXPECT_EQ(service.stats().worker_respawns, 0u);
+  }  // destructor: watchdog + workers join without hanging
+}
+
+}  // namespace
+}  // namespace lightnas::serve

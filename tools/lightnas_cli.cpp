@@ -25,6 +25,8 @@
 #include "eval/accuracy_model.hpp"
 #include "io/serialize.hpp"
 #include "predictors/lut_predictor.hpp"
+#include "predictors/oracle.hpp"
+#include "serve/resilience.hpp"
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
 #include "space/flops.hpp"
@@ -277,6 +279,15 @@ int cmd_predict(const cli::Args& args) {
   return 0;
 }
 
+serve::OverflowPolicy overflow_by_name(const std::string& name) {
+  if (name == "block") return serve::OverflowPolicy::kBlock;
+  if (name == "shed-newest") return serve::OverflowPolicy::kShedNewest;
+  if (name == "shed-oldest") return serve::OverflowPolicy::kShedOldest;
+  throw std::runtime_error(
+      "unknown --overflow '" + name +
+      "' (expected block | shed-newest | shed-oldest)");
+}
+
 int cmd_serve_bench(const cli::Args& args) {
   const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
 
@@ -297,6 +308,28 @@ int cmd_serve_bench(const cli::Args& args) {
   config.queue_capacity = args.get_size("queue", 256);
   config.cache_capacity = args.get_size("cache", 1 << 16);
   config.pool_tensors = args.get("tensor-pool", "1") != "0";
+
+  // Resilience knobs (all default off: plain serve-bench is unchanged).
+  config.default_deadline =
+      std::chrono::milliseconds(args.get_size("deadline-ms", 0));
+  config.overflow = overflow_by_name(args.get("overflow", "block"));
+  config.cache_ttl =
+      std::chrono::milliseconds(args.get_size("cache-ttl-ms", 0));
+  config.breaker.enabled = args.get("breaker", "0") != "0";
+  config.worker_stall_timeout =
+      std::chrono::milliseconds(args.get_size("stall-ms", 0));
+  const bool want_fallback = args.get("fallback", "0") != "0";
+  config.validate();  // fail on flag typos before training anything
+
+  serve::OracleFaultConfig storm;
+  storm.spec.transient_failure_prob =
+      args.get_double("storm-transients", 0.0);
+  storm.spec.hang_prob = args.get_double("storm-hangs", 0.0);
+  storm.spec.drift_per_measurement = args.get_double("storm-drift", 0.0);
+  storm.spec.outlier_prob = args.get_double("storm-outliers", 0.0);
+  storm.hang_duration =
+      std::chrono::milliseconds(args.get_size("storm-hang-ms", 50));
+  const bool with_storm = storm.spec.enabled();
 
   // Serve a trained predictor artifact when given one; otherwise run a
   // small in-process campaign so the command works standalone.
@@ -324,10 +357,32 @@ int cmd_serve_bench(const cli::Args& args) {
       serve::random_architecture_pool(space, pool_size, pool_rng);
   const serve::ZipfSampler zipf(pool.size(), zipf_s);
 
+  // Degraded-mode proxy tier: a FLOPs-linear oracle calibrated against
+  // the served predictor on a slice of the pool.
+  std::unique_ptr<predictors::FlopsProxyOracle> proxy;
+  if (want_fallback) {
+    const std::vector<space::Architecture> calibration(
+        pool.begin(),
+        pool.begin() + std::min<std::size_t>(pool.size(), 256));
+    proxy = std::make_unique<predictors::FlopsProxyOracle>(
+        predictors::FlopsProxyOracle::calibrated(space, predictor,
+                                                 calibration));
+    config.fallback_oracle = proxy.get();
+  }
+
+  // Chaos mode: serve through a fault-injecting decorator instead of
+  // the bare predictor.
+  serve::FaultyOracle faulty(predictor, storm);
+  faulty.set_storm(with_storm);
+  const predictors::CostOracle& backend =
+      with_storm ? static_cast<const predictors::CostOracle&>(faulty)
+                 : predictor;
+
   std::fprintf(stderr,
                "load: %zu clients x %zu requests over %zu architectures "
-               "(zipf s=%.2f)\n",
-               clients, requests / clients, pool.size(), zipf_s);
+               "(zipf s=%.2f)%s\n",
+               clients, requests / clients, pool.size(), zipf_s,
+               with_storm ? " [fault storm active]" : "");
 
   const bool with_baseline = args.get("baseline", "1") != "0";
   serve::LoadResult baseline;
@@ -336,9 +391,29 @@ int cmd_serve_bench(const cli::Args& args) {
                                               requests, 99);
   }
 
-  serve::PredictionService service(predictor, config);
-  const serve::LoadResult load = serve::run_closed_loop(
-      service, pool, zipf, clients, requests / clients, 99);
+  // A deadline (or a storm) means requests may legitimately resolve
+  // with typed errors — drive the load through the resilient runner
+  // that classifies every outcome instead of rethrowing the first one.
+  const bool resilient_load = config.default_deadline.count() > 0 ||
+                              config.breaker.enabled || with_storm;
+
+  serve::PredictionService service(backend, config);
+  serve::LoadResult load;
+  serve::ResilientLoadResult rload;
+  if (resilient_load) {
+    const auto wait_budget =
+        config.default_deadline.count() > 0
+            ? config.default_deadline + std::chrono::milliseconds(500)
+            : std::chrono::milliseconds(5000);
+    rload = serve::run_resilient_closed_loop(
+        service, pool, zipf, clients, requests / clients, 99, wait_budget);
+    load.requests = rload.requests;
+    load.wall_seconds = rload.wall_seconds;
+    load.checksum = rload.checksum;
+  } else {
+    load = serve::run_closed_loop(service, pool, zipf, clients,
+                                  requests / clients, 99);
+  }
   const serve::ServiceStats stats = service.stats();
   service.shutdown();
 
@@ -374,6 +449,27 @@ int cmd_serve_bench(const cli::Args& args) {
                          (1 << 20),
                      1) +
                      " MB"});
+  if (resilient_load) {
+    table.add_row({"resolved ratio",
+                   util::fmt_double(rload.resolved_ratio(), 4) + " (" +
+                       std::to_string(rload.values) + " values, " +
+                       std::to_string(rload.typed_errors) +
+                       " typed errors, " +
+                       std::to_string(rload.unresolved) + " unresolved)"});
+    table.add_row({"shed / expired", std::to_string(stats.shed) + " / " +
+                                         std::to_string(stats.expired)});
+    table.add_row({"degraded stale / proxy",
+                   std::to_string(stats.degraded_stale) + " / " +
+                       std::to_string(stats.degraded_proxy)});
+    table.add_row({"oracle failures", std::to_string(stats.oracle_failures)});
+    table.add_row({"breaker",
+                   std::string(serve::to_string(stats.breaker_state)) +
+                       " (opened " + std::to_string(stats.breaker_opens) +
+                       "x)"});
+    table.add_row({"worker respawns", std::to_string(stats.worker_respawns)});
+    table.add_row({"deadline hit ratio",
+                   util::fmt_double(stats.deadline_hit_ratio(), 4)});
+  }
   table.print(std::cout);
   return 0;
 }
@@ -409,7 +505,15 @@ void print_usage() {
       "  serve-bench     [--predictor F] [--clients N] [--requests N]\n"
       "                  [--workers N] [--batch B] [--cache N]\n"
       "                  [--queue N] [--pool N] [--zipf S]\n"
-      "                  [--baseline 0|1]\n");
+      "                  [--baseline 0|1]\n"
+      "                  resilience (all default off):\n"
+      "                  [--deadline-ms N] [--overflow block|shed-newest|\n"
+      "                  shed-oldest] [--breaker 0|1] [--fallback 0|1]\n"
+      "                  [--cache-ttl-ms N] [--stall-ms N]\n"
+      "                  fault storm (chaos-test the service):\n"
+      "                  [--storm-transients P] [--storm-hangs P]\n"
+      "                  [--storm-hang-ms N] [--storm-drift D]\n"
+      "                  [--storm-outliers P]\n");
 }
 
 }  // namespace
