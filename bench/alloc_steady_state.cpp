@@ -433,8 +433,9 @@ int main(int argc, char** argv) {
   out.set("search_zero_miss", io::Json(search_zero_miss));
   out.set("bit_identical", io::Json(identity_pass));
   out.set("peak_rss_bytes", io::Json(peak_rss_bytes()));
-  io::write_json_file("BENCH_alloc.json", out);
-  std::printf("\nwrote BENCH_alloc.json (peak RSS %.1f MB)\n",
+  bench::update_bench_json("BENCH_alloc.json", "steady_state", out);
+  std::printf("\nupdated BENCH_alloc.json (section: steady_state, peak RSS "
+              "%.1f MB)\n",
               static_cast<double>(peak_rss_bytes()) / 1e6);
 
   if (!all_pass) {

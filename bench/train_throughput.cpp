@@ -240,8 +240,8 @@ int main(int argc, char** argv) {
     // ru_maxrss is KiB on Linux.
     out.set("peak_rss_bytes",
             io::Json(static_cast<std::size_t>(usage.ru_maxrss) * 1024));
-    io::write_json_file("BENCH_train.json", out);
-    std::printf("\nwrote BENCH_train.json\n");
+    bench::update_bench_json("BENCH_train.json", "throughput", out);
+    std::printf("\nupdated BENCH_train.json (section: throughput)\n");
   }
 
   // --- verdict ---------------------------------------------------------

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "io/json.hpp"
+
+namespace lightnas::campaign {
+
+/// Persistence for campaign artifacts, built on the same io building
+/// blocks (hex u64s, shape-checked tensors, word-exact RNG state) as
+/// the single-search checkpoint format.
+
+// --- campaign checkpoints ----------------------------------------------
+
+io::Json campaign_checkpoint_to_json(const CampaignCheckpoint& checkpoint);
+CampaignCheckpoint campaign_checkpoint_from_json(const io::Json& json);
+
+/// Atomic write (temp-then-rename): a crash mid-write never corrupts the
+/// previous checkpoint at `path`.
+void save_campaign_checkpoint(const std::string& path,
+                              const CampaignCheckpoint& checkpoint);
+CampaignCheckpoint load_campaign_checkpoint(const std::string& path);
+
+// --- campaign results ---------------------------------------------------
+
+io::Json campaign_result_to_json(const CampaignResult& result);
+void save_campaign_result(const std::string& path,
+                          const CampaignResult& result);
+
+/// Write the per-target report (every job, front membership flagged) as
+/// CSV via util::csv; returns false when the file cannot be opened.
+bool write_campaign_csv(const std::string& path,
+                        const CampaignResult& result);
+
+}  // namespace lightnas::campaign

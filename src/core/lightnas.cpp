@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/search_step.hpp"
 #include "nn/ops.hpp"
 #include "nn/optim.hpp"
 #include "nn/pool.hpp"
@@ -16,13 +17,6 @@
 namespace lightnas::core {
 
 namespace {
-
-/// GDAS-style hard gate: value exactly 1, gradient d(gate)/d(p_soft) = 1,
-/// so the path's output gradient is credited to its soft probability.
-nn::VarPtr hard_gate(const nn::VarPtr& soft_prob) {
-  return nn::ops::add_scalar(
-      nn::ops::sub(soft_prob, nn::ops::detach(soft_prob)), 1.0);
-}
 
 [[noreturn]] void config_error(const std::string& message) {
   throw std::invalid_argument("LightNasConfig: " + message);
@@ -162,45 +156,18 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
                                        ? pool_scope.pool().stats()
                                        : nn::PoolStats{};
 
-  const std::size_t num_layers = space_->num_layers();
-  const std::size_t num_ops = space_->num_ops();
   const std::size_t num_constraints = constraints_.size();
 
-  // Map searchable layer <-> row in the alpha matrix.
-  std::vector<std::size_t> searchable_layers;
-  for (std::size_t l = 0; l < num_layers; ++l) {
-    if (space_->layers()[l].searchable) searchable_layers.push_back(l);
-  }
-  const std::size_t num_searchable = searchable_layers.size();
+  // The search loop is assembled from the reusable pieces in
+  // search_step.hpp — the same ones the campaign orchestrator
+  // (src/campaign) multiplexes K heads over. Here: one trainer, one head.
+  const SearchTopology topology(*space_);
 
   util::Rng rng(config_.seed * 0x9e3779b9ULL + 17);
-  SupernetConfig supernet_config = supernet_config_;
-  supernet_config.seed ^= config_.seed;
-  SurrogateSupernet supernet(*space_, task_->train.feature_dim(),
-                             task_->train.labels.empty()
-                                 ? 10
-                                 : 1 + *std::max_element(
-                                           task_->train.labels.begin(),
-                                           task_->train.labels.end()),
-                             supernet_config);
-  const std::vector<nn::VarPtr> weight_params = supernet.weight_parameters();
+  SharedWTrainer trainer(topology, *task_, supernet_config_, config_,
+                         config_.epochs * config_.w_steps_per_epoch);
+  AlphaLambdaHead head(topology, constraints_, config_);
 
-  // Architecture parameters: one row per *searchable* layer (Sec 3.1:
-  // the first layer is fixed).
-  nn::VarPtr alpha =
-      nn::make_leaf(nn::Tensor::zeros(num_searchable, num_ops), "alpha");
-
-  nn::Sgd w_optimizer(weight_params, config_.w_lr, config_.w_momentum,
-                      config_.w_weight_decay,
-                      /*clip_norm=*/5.0);
-  const nn::CosineSchedule w_schedule(config_.w_lr,
-                                      config_.epochs *
-                                          config_.w_steps_per_epoch);
-  nn::Adam alpha_optimizer({alpha}, config_.alpha_lr, 0.9, 0.999, 1e-8,
-                           config_.alpha_weight_decay);
-  std::vector<nn::LambdaAscent> lambdas(
-      num_constraints,
-      nn::LambdaAscent(config_.lambda_lr, config_.lambda_init));
   const TemperatureSchedule tau_schedule(config_.tau_initial,
                                          config_.tau_final, config_.epochs);
 
@@ -210,7 +177,6 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
   nn::Batcher valid_batches(task_->valid, config_.batch_size, valid_rng);
 
   SearchResult result;
-  std::size_t w_step_counter = 0;
   // Watchdog cooldown state: rollbacks shrink the alpha/lambda step
   // sizes by cooldown_factor and can hold tau above its schedule for a
   // few epochs (tau_floor decays back towards zero).
@@ -229,20 +195,16 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
       ck.targets.push_back(constraint.target);
     }
     ck.next_epoch = next_epoch;
-    ck.w_step_counter = w_step_counter;
-    ck.alpha = alpha->value;
-    ck.supernet_weights.reserve(weight_params.size());
-    for (const nn::VarPtr& p : weight_params) {
-      ck.supernet_weights.push_back(p->value);
-    }
-    ck.w_velocity = w_optimizer.export_state().velocity;
-    nn::Adam::State adam = alpha_optimizer.export_state();
-    ck.adam_m = std::move(adam.m);
-    ck.adam_v = std::move(adam.v);
-    ck.adam_t = adam.t;
-    for (const nn::LambdaAscent& l : lambdas) {
-      ck.lambdas.push_back(l.value());
-    }
+    SharedWTrainer::State w_state = trainer.export_state();
+    ck.w_step_counter = w_state.step_counter;
+    ck.supernet_weights = std::move(w_state.weights);
+    ck.w_velocity = std::move(w_state.velocity);
+    AlphaLambdaHead::State head_state = head.export_state();
+    ck.alpha = std::move(head_state.alpha);
+    ck.adam_m = std::move(head_state.adam_m);
+    ck.adam_v = std::move(head_state.adam_v);
+    ck.adam_t = head_state.adam_t;
+    ck.lambdas = std::move(head_state.lambdas);
     ck.cooldown_scale = cooldown_scale;
     ck.tau_floor = tau_floor;
     ck.rng = rng.state();
@@ -273,34 +235,20 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
             "SearchCheckpoint: constraint target mismatch");
       }
     }
-    if (!ck.alpha.same_shape(alpha->value)) {
+    if (!ck.alpha.same_shape(head.alpha()->value)) {
       throw std::invalid_argument(
           "SearchCheckpoint: alpha shape does not match the search space");
     }
-    if (ck.supernet_weights.size() != weight_params.size()) {
-      throw std::invalid_argument(
-          "SearchCheckpoint: supernet parameter count mismatch");
-    }
-    for (std::size_t i = 0; i < weight_params.size(); ++i) {
-      if (!ck.supernet_weights[i].same_shape(weight_params[i]->value)) {
-        throw std::invalid_argument(
-            "SearchCheckpoint: supernet tensor shape mismatch");
-      }
-      weight_params[i]->value = ck.supernet_weights[i];
-    }
-    alpha->value = ck.alpha;
-    w_optimizer.restore_state({ck.w_velocity});
-    alpha_optimizer.restore_state({ck.adam_m, ck.adam_v, ck.adam_t});
+    trainer.restore_state(
+        {ck.supernet_weights, ck.w_velocity, ck.w_step_counter});
     if (ck.lambdas.size() != num_constraints) {
       throw std::invalid_argument("SearchCheckpoint: lambda count mismatch");
     }
+    head.restore_state({ck.alpha, ck.adam_m, ck.adam_v, ck.adam_t,
+                        ck.lambdas});
     cooldown_scale = ck.cooldown_scale;
     tau_floor = ck.tau_floor;
-    alpha_optimizer.set_lr(config_.alpha_lr * cooldown_scale);
-    for (std::size_t c = 0; c < num_constraints; ++c) {
-      lambdas[c].reset(ck.lambdas[c]);
-      lambdas[c].set_lr(config_.lambda_lr * cooldown_scale);
-    }
+    head.set_cooldown_scale(cooldown_scale);
     rng.set_state(ck.rng);
     data_rng.set_state(ck.data_rng);
     valid_rng.set_state(ck.valid_rng);
@@ -310,7 +258,6 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
     result.weight_updates = ck.weight_updates;
     result.alpha_updates = ck.alpha_updates;
     result.health = ck.health;
-    w_step_counter = ck.w_step_counter;
   };
 
   std::size_t start_epoch = 0;
@@ -320,36 +267,6 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
     result.health.resumed = true;
     result.health.resumed_from_epoch = start_epoch;
   }
-
-  // Derive the stand-alone architecture: strongest operator per layer
-  // (Sec 2.1), fixed layers keep their fixed op.
-  auto derive = [&]() {
-    std::vector<std::size_t> ops(num_layers, 0);
-    for (std::size_t s = 0; s < num_searchable; ++s) {
-      ops[searchable_layers[s]] = alpha->value.argmax_row(s);
-    }
-    return space::Architecture(std::move(ops));
-  };
-
-  // Assemble the full L x K encoding Var from the searchable block,
-  // splicing in constant one-hot rows for fixed layers (their operator
-  // index is 0 by construction of the space).
-  auto assemble_encoding = [&](const nn::VarPtr& binarized) {
-    std::vector<nn::VarPtr> rows;
-    rows.reserve(num_layers);
-    std::size_t s = 0;
-    for (std::size_t l = 0; l < num_layers; ++l) {
-      if (space_->layers()[l].searchable) {
-        rows.push_back(nn::ops::slice_rows(binarized, s++, 1));
-      } else {
-        nn::Tensor one_hot = nn::Tensor::zeros(1, num_ops);
-        one_hot.at(0, 0) = 1.0f;
-        rows.push_back(nn::make_const(std::move(one_hot)));
-      }
-    }
-    return nn::ops::reshape(nn::ops::vstack(rows), 1,
-                            num_layers * num_ops);
-  };
 
   // The watchdog's in-memory rollback point: the end of the last healthy
   // epoch. Seeded from the resume snapshot when there is one.
@@ -369,30 +286,8 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
     // ---- training phase: update w on sampled single paths -------------
     for (std::size_t step = 0; step < config_.w_steps_per_epoch; ++step) {
       const nn::Dataset batch = train_batches.next();
-
-      // Sample one path through the Gumbel-Softmax of Eq (7) (values
-      // only; no gradient needed in the w phase). Note: we apply the
-      // noise on the logits alpha as in the cited Gumbel-Softmax paper —
-      // softmax((log P + G)/tau) == softmax((alpha + G)/tau) since the
-      // per-row log-normalizer cancels inside the softmax.
-      const nn::VarPtr p_hat = nn::ops::row_softmax(nn::ops::scale(
-          nn::ops::add(alpha, nn::make_const(gumbel_noise(num_searchable,
-                                                          num_ops, rng))),
-          1.0 / tau));
-
-      std::vector<std::size_t> op_choice(num_layers, 0);
-      for (std::size_t s = 0; s < num_searchable; ++s) {
-        op_choice[searchable_layers[s]] = p_hat->value.argmax_row(s);
-      }
-
-      w_optimizer.zero_grad();
-      const nn::VarPtr logits =
-          supernet.forward_single_path(batch.features, op_choice);
-      const nn::VarPtr loss =
-          nn::ops::softmax_cross_entropy(logits, batch.labels);
-      nn::backward(loss);
-      w_optimizer.set_lr(w_schedule.lr_at(w_step_counter++));
-      w_optimizer.step();
+      const PathSample sample = head.sample(tau, rng);
+      trainer.step(batch, sample.op_choice);
       ++result.weight_updates;
     }
 
@@ -401,70 +296,10 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
       for (std::size_t step = 0; step < config_.alpha_steps_per_epoch;
            ++step) {
         const nn::Dataset batch = valid_batches.next();
-
-        const nn::VarPtr p_hat = nn::ops::row_softmax(nn::ops::scale(
-            nn::ops::add(alpha,
-                         nn::make_const(gumbel_noise(num_searchable,
-                                                     num_ops, rng))),
-            1.0 / tau));
-
-        // Sampled path + GDAS gates so d(CE)/d(alpha) exists (Eq 12).
-        std::vector<std::size_t> op_choice(num_layers, 0);
-        std::vector<nn::VarPtr> gates(num_layers, nullptr);
-        for (std::size_t s = 0; s < num_searchable; ++s) {
-          const std::size_t j = p_hat->value.argmax_row(s);
-          op_choice[searchable_layers[s]] = j;
-          gates[searchable_layers[s]] =
-              hard_gate(nn::ops::select(p_hat, s, j));
-        }
-
-        const nn::VarPtr logits = supernet.forward_single_path(
-            batch.features, op_choice, gates);
-        nn::VarPtr loss =
-            nn::ops::softmax_cross_entropy(logits, batch.labels);
-
-        // Differentiable cost of the binarized architecture (Eq 9 + 12),
-        // one penalty term per constraint.
-        const nn::VarPtr p_bar = nn::ops::binarize_rows_ste(p_hat);
-        const nn::VarPtr encoding = assemble_encoding(p_bar);
-        for (std::size_t c = 0; c < num_constraints; ++c) {
-          const nn::VarPtr cost =
-              constraints_[c].predictor->forward_var(encoding);
-          const nn::VarPtr violation = nn::ops::add_scalar(
-              nn::ops::scale(cost, 1.0 / constraints_[c].target), -1.0);
-          loss = nn::ops::add(
-              loss, nn::ops::scale(violation, lambdas[c].value()));
-          if (config_.penalty_mu != 0.0) {
-            loss = nn::ops::add(
-                loss, nn::ops::scale(nn::ops::mul(violation, violation),
-                                     config_.penalty_mu));
-          }
-          if (c == 0) {
-            sampled_cost_sum += static_cast<double>(cost->value.item());
-            ++sampled_cost_count;
-          }
-        }
-
-        alpha_optimizer.zero_grad();
-        // The supernet weights also receive gradients here; they are
-        // cleared without being applied (bi-level: alpha-only update).
-        nn::backward(loss);
-        alpha_optimizer.step();
-        for (const nn::VarPtr& param : weight_params) {
-          param->zero_grad();
-        }
-
-        // Gradient ascent on each lambda (Eq 11): dL/dlambda_c =
-        // COST_c(alpha)/T_c - 1, where the architecture encoded by alpha
-        // is the argmax one of Eq (4) — NOT the Gumbel-sampled path,
-        // whose cost is a noisy draw centred on the distribution rather
-        // than on the encoding.
-        const space::Architecture derived_arch = derive();
-        for (std::size_t c = 0; c < num_constraints; ++c) {
-          lambdas[c].step(constraints_[c].predictor->predict(derived_arch) /
-                              constraints_[c].target -
-                          1.0);
-        }
+        sampled_cost_sum += head.alpha_step(
+            trainer.supernet(), trainer.weight_parameters(), batch, tau,
+            rng);
+        ++sampled_cost_count;
         ++result.alpha_updates;
       }
     }
@@ -473,9 +308,9 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
     SearchEpochStats stats;
     stats.epoch = epoch;
     stats.tau = tau;
-    stats.derived = derive();
+    stats.derived = head.derive();
+    stats.lambdas = head.lambda_values();
     for (std::size_t c = 0; c < num_constraints; ++c) {
-      stats.lambdas.push_back(lambdas[c].value());
       stats.predicted_costs.push_back(
           constraints_[c].predictor->predict(stats.derived));
     }
@@ -486,7 +321,7 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
             ? sampled_cost_sum / static_cast<double>(sampled_cost_count)
             : stats.predicted_cost;
     {
-      const nn::VarPtr logits = supernet.forward_single_path(
+      const nn::VarPtr logits = trainer.supernet().forward_single_path(
           task_->valid.features, stats.derived.ops());
       const nn::VarPtr loss =
           nn::ops::softmax_cross_entropy(logits, task_->valid.labels);
@@ -507,7 +342,7 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
     if (config_.watchdog.enabled) {
       if (!std::isfinite(stats.valid_loss)) {
         unhealthy = "non-finite validation loss";
-      } else if (!tensor_finite(alpha->value)) {
+      } else if (!tensor_finite(head.alpha()->value)) {
         unhealthy = "non-finite alpha";
       } else {
         for (std::size_t c = 0; c < num_constraints && unhealthy.empty();
@@ -559,10 +394,7 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
       restore(*last_good);
       result.health = std::move(health);
       cooldown_scale *= config_.watchdog.cooldown_factor;
-      alpha_optimizer.set_lr(config_.alpha_lr * cooldown_scale);
-      for (nn::LambdaAscent& l : lambdas) {
-        l.set_lr(config_.lambda_lr * cooldown_scale);
-      }
+      head.set_cooldown_scale(cooldown_scale);
       // Hold the temperature near its value at the rollback point so the
       // retry explores more softly; the floor decays on healthy epochs.
       tau_floor = std::max(tau_floor, tau_schedule.at(epoch));
@@ -602,7 +434,7 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
     return worst;
   };
 
-  result.architecture = derive();
+  result.architecture = head.derive();
   if (config_.select_best_from_trace && !result.trace.empty()) {
     const std::size_t window_start =
         result.trace.size() - std::max<std::size_t>(
@@ -628,6 +460,7 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
     }
   }
   result.health.completed_epochs = result.trace.size();
+  const std::vector<double> live_lambdas = head.lambda_values();
   for (std::size_t c = 0; c < num_constraints; ++c) {
     result.final_costs.push_back(
         constraints_[c].predictor->predict(result.architecture));
@@ -637,7 +470,7 @@ SearchResult LightNas::search(const SearchHooks& hooks) {
     if (result.health.aborted_early && !result.trace.empty()) {
       result.final_lambdas.push_back(result.trace.back().lambdas[c]);
     } else {
-      result.final_lambdas.push_back(lambdas[c].value());
+      result.final_lambdas.push_back(live_lambdas[c]);
     }
   }
   result.final_predicted_cost = result.final_costs.front();

@@ -6,9 +6,13 @@
 
 namespace lightnas::io {
 
-namespace {
+namespace detail {
 
+namespace {
 constexpr int kFormatVersion = 1;
+}  // namespace
+
+int format_version() { return kFormatVersion; }
 
 void check_header(const Json& json, const std::string& kind) {
   if (!json.contains("kind") || json.at("kind").as_string() != kind) {
@@ -212,7 +216,9 @@ core::SearchEpochStats epoch_stats_from_json(const Json& row) {
   return stats;
 }
 
-}  // namespace
+}  // namespace detail
+
+using namespace detail;
 
 // --- predictors ---------------------------------------------------------
 

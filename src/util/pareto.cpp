@@ -1,0 +1,40 @@
+#include "util/pareto.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lightnas::util {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.cost > b.cost || a.value < b.value) return false;
+  return a.cost < b.cost || a.value > b.value;
+}
+
+bool ParetoFront::insert(ParetoPoint point) {
+  for (const ParetoPoint& incumbent : points_) {
+    if (dominates(incumbent, point)) return false;
+  }
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [&](const ParetoPoint& incumbent) {
+                                 return dominates(point, incumbent);
+                               }),
+                points_.end());
+  // Insert before the first strictly-later position so equal (cost,
+  // value) pairs keep their insertion order.
+  const auto at = std::find_if(
+      points_.begin(), points_.end(), [&](const ParetoPoint& incumbent) {
+        return incumbent.cost > point.cost ||
+               (incumbent.cost == point.cost &&
+                incumbent.value < point.value);
+      });
+  points_.insert(at, std::move(point));
+  return true;
+}
+
+std::vector<ParetoPoint> non_dominated(std::vector<ParetoPoint> points) {
+  ParetoFront front;
+  for (ParetoPoint& point : points) front.insert(std::move(point));
+  return front.points();
+}
+
+}  // namespace lightnas::util

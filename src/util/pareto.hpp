@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lightnas::util {
+
+/// One candidate on a cost/value trade-off curve: `cost` is minimized
+/// (latency, energy), `value` is maximized (accuracy). `tag` carries an
+/// opaque caller label (e.g. the constraint target the point came from).
+struct ParetoPoint {
+  double cost = 0.0;
+  double value = 0.0;
+  std::string tag;
+};
+
+/// a dominates b when a is no worse on both axes and strictly better on
+/// at least one (minimize cost, maximize value).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Maintains the non-dominated subset of the points inserted so far,
+/// kept sorted by ascending cost (ties broken by descending value, then
+/// insertion order — deterministic for identical input sequences).
+class ParetoFront {
+ public:
+  /// Returns true when the point joins the front (i.e. no existing point
+  /// dominates it); dominated incumbents are evicted. A duplicate of an
+  /// existing point (same cost and value) joins the front.
+  bool insert(ParetoPoint point);
+
+  const std::vector<ParetoPoint>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+ private:
+  std::vector<ParetoPoint> points_;
+};
+
+/// One-shot dominance filter: the non-dominated subset of `points`, in
+/// ascending-cost order.
+std::vector<ParetoPoint> non_dominated(std::vector<ParetoPoint> points);
+
+}  // namespace lightnas::util

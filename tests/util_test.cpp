@@ -12,6 +12,7 @@
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/pareto.hpp"
 #include "util/plot.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -419,6 +420,87 @@ TEST(ThreadPool, DestructorDrainsPendingTasks) {
     // No wait_idle: destruction itself must run everything submitted.
   }
   EXPECT_EQ(done.load(), 200);
+}
+
+TEST(Pareto, DominanceRequiresStrictImprovementOnOneAxis) {
+  const ParetoPoint fast_accurate{10.0, 0.9, "a"};
+  const ParetoPoint slow_accurate{20.0, 0.9, "b"};
+  const ParetoPoint fast_inaccurate{10.0, 0.5, "c"};
+  const ParetoPoint twin{10.0, 0.9, "d"};
+  EXPECT_TRUE(dominates(fast_accurate, slow_accurate));
+  EXPECT_TRUE(dominates(fast_accurate, fast_inaccurate));
+  EXPECT_FALSE(dominates(slow_accurate, fast_accurate));
+  EXPECT_FALSE(dominates(fast_accurate, twin));
+  EXPECT_FALSE(dominates(twin, fast_accurate));
+  // Incomparable: one axis better, the other worse.
+  EXPECT_FALSE(dominates(slow_accurate, fast_inaccurate));
+  EXPECT_FALSE(dominates(fast_inaccurate, slow_accurate));
+}
+
+TEST(Pareto, FrontKeepsNonDominatedSortedByCost) {
+  ParetoFront front;
+  EXPECT_TRUE(front.insert({30.0, 0.80, "slow"}));
+  EXPECT_TRUE(front.insert({10.0, 0.60, "fast"}));
+  EXPECT_TRUE(front.insert({20.0, 0.70, "mid"}));
+  // Dominated by "mid": same cost, lower value.
+  EXPECT_FALSE(front.insert({20.0, 0.65, "worse-mid"}));
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front.points()[0].tag, "fast");
+  EXPECT_EQ(front.points()[1].tag, "mid");
+  EXPECT_EQ(front.points()[2].tag, "slow");
+}
+
+TEST(Pareto, InsertEvictsNewlyDominatedIncumbents) {
+  ParetoFront front;
+  front.insert({10.0, 0.60, "a"});
+  front.insert({20.0, 0.70, "b"});
+  front.insert({30.0, 0.80, "c"});
+  // Dominates both "b" and "c".
+  EXPECT_TRUE(front.insert({15.0, 0.85, "king"}));
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front.points()[0].tag, "a");
+  EXPECT_EQ(front.points()[1].tag, "king");
+}
+
+TEST(Pareto, DuplicatePointsBothSurvive) {
+  ParetoFront front;
+  EXPECT_TRUE(front.insert({10.0, 0.5, "first"}));
+  EXPECT_TRUE(front.insert({10.0, 0.5, "second"}));
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front.points()[0].tag, "first");
+  EXPECT_EQ(front.points()[1].tag, "second");
+}
+
+TEST(Pareto, NonDominatedFilterMatchesIncrementalFront) {
+  Rng rng(7);
+  std::vector<ParetoPoint> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 1.0),
+                      std::to_string(i)});
+  }
+  const std::vector<ParetoPoint> front = non_dominated(points);
+  ASSERT_FALSE(front.empty());
+  // Sorted by cost, and no member dominates another.
+  for (std::size_t i = 0; i + 1 < front.size(); ++i) {
+    EXPECT_LE(front[i].cost, front[i + 1].cost);
+  }
+  for (const ParetoPoint& a : front) {
+    for (const ParetoPoint& b : front) {
+      EXPECT_FALSE(dominates(a, b));
+    }
+  }
+  // Every excluded point is dominated by some front member.
+  for (const ParetoPoint& p : points) {
+    const bool on_front = std::any_of(
+        front.begin(), front.end(),
+        [&](const ParetoPoint& f) { return f.tag == p.tag; });
+    if (on_front) continue;
+    EXPECT_TRUE(std::any_of(front.begin(), front.end(),
+                            [&](const ParetoPoint& f) {
+                              return dominates(f, p);
+                            }))
+        << "point " << p.tag << " excluded but undominated";
+  }
 }
 
 TEST(ThreadPool, WaitIdleBlocksUntilTasksFinish) {

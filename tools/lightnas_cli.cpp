@@ -4,6 +4,7 @@
 //   lightnas train-predictor  fit the MLP predictor       -> predictor.json
 //   lightnas eval-predictor   held-out quality report
 //   lightnas search           one-shot constrained search -> result.json
+//   lightnas search-campaign  K-target campaign            -> campaign.json
 //   lightnas show             inspect an architecture / search result
 //   lightnas predict          predict the cost of an architecture
 //   lightnas serve-bench      load-test the batched prediction service
@@ -19,6 +20,8 @@
 #include <iostream>
 #include <string>
 
+#include "campaign/campaign.hpp"
+#include "campaign/serialize.hpp"
 #include "cli_args.hpp"
 #include "core/lightnas.hpp"
 #include "nn/parallel.hpp"
@@ -225,6 +228,120 @@ int cmd_search(const cli::Args& args) {
   const std::string out = args.get("out", "result.json");
   io::save_search_result(out, result);
   std::printf("wrote search result (with trace) to %s\n", out.c_str());
+  if (!checkpoint_path.empty()) {
+    std::printf("final checkpoint: %s\n", checkpoint_path.c_str());
+  }
+  return 0;
+}
+
+std::vector<double> parse_target_list(const std::string& spec) {
+  std::vector<double> targets;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const std::string token = spec.substr(pos, next - pos);
+    if (!token.empty()) {
+      std::size_t consumed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(token, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != token.size()) {
+        throw std::runtime_error("bad target '" + token +
+                                 "' in --targets list");
+      }
+      targets.push_back(value);
+    }
+    pos = next + 1;
+  }
+  if (targets.empty()) {
+    throw std::runtime_error("--targets needs at least one value");
+  }
+  return targets;
+}
+
+int cmd_search_campaign(const cli::Args& args) {
+  const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
+  const predictors::MlpPredictor predictor =
+      io::load_predictor(args.get("predictor", "predictor.json"));
+
+  campaign::CampaignConfig config;
+  config.targets = parse_target_list(args.get("targets", ""));
+  config.tolerance = args.get_double("tolerance", config.tolerance);
+  config.convergence_patience =
+      args.get_size("patience", config.convergence_patience);
+  config.preempt_converged = args.get("preempt", "1") != "0";
+  config.search.seed = args.get_size("seed", 0);
+  config.search.epochs = args.get_size("epochs", 55);
+  config.search.warmup_epochs = args.get_size(
+      "warmup", std::min<std::size_t>(config.search.warmup_epochs,
+                                      config.search.epochs / 2));
+  config.search.log_progress = args.get("verbose", "0") != "0";
+  config.search.pool_tensors = args.get("tensor-pool", "1") != "0";
+
+  nn::SyntheticTaskConfig task_config;
+  task_config.train_size = args.get_size("task-size", 16384);
+  const nn::SyntheticTask task = nn::make_synthetic_task(task_config);
+
+  campaign::CampaignHooks hooks;
+  campaign::CampaignCheckpoint resume_state;
+  if (args.has("resume")) {
+    const std::string path = args.get("resume");
+    resume_state = campaign::load_campaign_checkpoint(path);
+    hooks.resume = &resume_state;
+    std::fprintf(stderr, "resuming from %s (epoch %zu/%zu)\n", path.c_str(),
+                 resume_state.next_epoch, resume_state.total_epochs);
+  }
+  std::string checkpoint_path;
+  if (args.has("checkpoint-dir")) {
+    const std::string dir = args.get("checkpoint-dir");
+    std::filesystem::create_directories(dir);
+    checkpoint_path = dir + "/campaign_checkpoint.json";
+    hooks.checkpoint_every = args.get_size("checkpoint-every", 5);
+    hooks.on_checkpoint = [&](const campaign::CampaignCheckpoint& ck) {
+      campaign::save_campaign_checkpoint(checkpoint_path, ck);
+    };
+  }
+
+  std::fprintf(stderr, "campaign: %zu targets, one shared supernet...\n",
+               config.targets.size());
+  campaign::CampaignOrchestrator orchestrator(
+      space, predictor, task, core::SupernetConfig{}, config);
+  const campaign::CampaignResult result = orchestrator.run(hooks);
+
+  util::Table table({"job", "target", "state", "predicted", "gap", "acc",
+                     "front"});
+  for (const campaign::JobResult& job : result.jobs) {
+    table.add_row({std::to_string(job.job_id),
+                   util::fmt_double(job.target, 1),
+                   campaign::to_string(job.state),
+                   util::fmt_double(job.predicted_cost, 2),
+                   util::fmt_pct(100.0 * job.gap) + " %",
+                   util::fmt_pct(100.0 * job.valid_accuracy) + " %",
+                   job.on_front ? "*" : ""});
+  }
+  table.print(std::cout);
+  std::printf(
+      "campaign: %zu epochs, %zu weight + %zu alpha updates, "
+      "%zu/%zu converged, %zu on front\n",
+      result.completed_epochs, result.weight_updates, result.alpha_updates,
+      result.count(campaign::JobState::kConverged), result.jobs.size(),
+      result.front.size());
+
+  const std::string out = args.get("out", "campaign.json");
+  campaign::save_campaign_result(out, result);
+  std::printf("wrote campaign result (with traces) to %s\n", out.c_str());
+  if (args.has("csv")) {
+    const std::string csv = args.get("csv");
+    if (campaign::write_campaign_csv(csv, result)) {
+      std::printf("wrote per-target report to %s\n", csv.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", csv.c_str());
+    }
+  }
   if (!checkpoint_path.empty()) {
     std::printf("final checkpoint: %s\n", checkpoint_path.c_str());
   }
@@ -500,6 +617,12 @@ void print_usage() {
       "                  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "                  [--resume DIR/checkpoint.json]\n"
       "                  --out result.json\n"
+      "  search-campaign --predictor F --targets \"T1,T2,...\"\n"
+      "                  [--tolerance R] [--patience N] [--preempt 0|1]\n"
+      "                  [--seed N] [--epochs N] [--warmup N]\n"
+      "                  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "                  [--resume DIR/campaign_checkpoint.json]\n"
+      "                  [--csv campaign.csv] --out campaign.json\n"
       "  show            --result F | --arch \"0,1,...\" [--device D]\n"
       "  predict         --predictor F --arch \"0,1,...\"\n"
       "  serve-bench     [--predictor F] [--clients N] [--requests N]\n"
@@ -532,6 +655,7 @@ int main(int argc, char** argv) {
     if (command == "train-predictor") return cmd_train_predictor(args);
     if (command == "eval-predictor") return cmd_eval_predictor(args);
     if (command == "search") return cmd_search(args);
+    if (command == "search-campaign") return cmd_search_campaign(args);
     if (command == "show") return cmd_show(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "serve-bench") return cmd_serve_bench(args);
