@@ -40,7 +40,8 @@ Json tensor_to_json(const nn::Tensor& t) {
   Json json = Json::object();
   json.set("rows", Json(t.rows()));
   json.set("cols", Json(t.cols()));
-  json.set("data", Json::from_floats(t.data()));
+  json.set("data", Json::from_floats(
+                       std::vector<float>(t.data().begin(), t.data().end())));
   return json;
 }
 
@@ -52,7 +53,7 @@ nn::Tensor tensor_from_json(const Json& json) {
     throw std::runtime_error("tensor data does not match its shape");
   }
   nn::Tensor t(rows, cols);
-  t.data() = data;
+  t.data().assign(data.begin(), data.end());
   return t;
 }
 

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace lightnas::nn {
+
+/// Alignment (bytes) of every Tensor / TensorPool buffer. 32 bytes is
+/// one full AVX2 vector, so the SIMD microkernels (see simd.hpp) never
+/// straddle a cache line at the buffer start; it also satisfies every
+/// narrower ISA. The kernels still use unaligned loads internally
+/// (row starts are only aligned when cols % 8 == 0), but an aligned
+/// base keeps the common padded shapes on the fast path.
+inline constexpr std::size_t kTensorAlignment = 32;
+
+/// Minimal STL allocator with a fixed over-alignment. All instances
+/// compare equal (state-free), so vectors can swap buffers freely —
+/// exactly what the TensorPool's bucket handout relies on.
+template <typename T, std::size_t Alignment = kTensorAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment below natural");
+  static_assert((Alignment & (Alignment - 1)) == 0, "non power of two");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Alignment>&) const {
+    return false;
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+};
+
+/// The storage type of Tensor and the TensorPool free lists: a plain
+/// std::vector<float> except the buffer start is kTensorAlignment-aligned.
+using AlignedVector = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace lightnas::nn

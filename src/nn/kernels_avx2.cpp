@@ -1,0 +1,359 @@
+// AVX2 microkernels for the dense hot paths. This translation unit is
+// compiled with -mavx2 -mfma -ffp-contract=off (see src/nn/CMakeLists)
+// and only ever entered through the ISA dispatch in tensor.cpp, which
+// has already checked CPUID.
+//
+// Bit-identity contract (see simd.hpp): with fma == false, every output
+// element is produced by the exact IEEE op sequence of the scalar
+// kernels — a single ascending-k chain of separately rounded mul then
+// add, starting from 0.0f on the first k-tile. Vectorization is across
+// output columns (8 lanes = 8 independent chains) and row micro-tiling
+// is across output rows (independent chains again), so lane/row
+// grouping never reorders any one element's chain. -ffp-contract=off
+// keeps the compiler from fusing the separate mul/add intrinsics into
+// FMAs behind our back. With fma == true the chain's mul+add pairs
+// become single-rounded FMAs: faster and slightly more accurate, but
+// deliberately opt-in because it breaks cross-ISA reproducibility.
+//
+// Tail handling is explicit everywhere: columns are processed in tiles
+// of 16 and 8 with a masked epilogue for n % 8 (maskload/maskstore
+// touch only in-bounds lanes), and row micro-tiles of 4 fall back to
+// single rows for the remainder — so odd shapes take the same code
+// path, just with masks, rather than a separate scalar loop.
+
+#ifdef LIGHTNAS_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+
+#include "nn/simd.hpp"
+
+namespace lightnas::nn::simd {
+
+namespace {
+
+/// Lane masks for a column tail of `rem` (1..7) active lanes:
+/// loadu from (kTailMask + 8 - rem) yields rem set lanes then zeros.
+alignas(32) constexpr int kTailMask[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                           0,  0,  0,  0,  0,  0,  0,  0};
+
+inline __m256i tail_mask(std::size_t rem) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kTailMask + 8 - rem));
+}
+
+/// acc <- acc + av * bv, with the rounding mode of the active tier.
+template <bool kFma>
+inline __m256 accumulate(__m256 acc, __m256 av, __m256 bv) {
+  if constexpr (kFma) {
+    return _mm256_fmadd_ps(av, bv, acc);
+  } else {
+    return _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+  }
+}
+
+/// One k-tile of C(i, j..j+15) for up to 4 rows, accumulators held in
+/// registers across the tile. `AStride` abstracts the A layout:
+/// NN reads a[i * k + p], TN reads a[p * m + i].
+struct ANormal {
+  const float* a;
+  std::size_t k;
+  inline float at(std::size_t i, std::size_t p) const { return a[i * k + p]; }
+};
+struct ATransposed {
+  const float* a;
+  std::size_t m;
+  inline float at(std::size_t i, std::size_t p) const { return a[p * m + i]; }
+};
+
+/// Full 16-column tile over rows [i, i+ir), ir in 1..4.
+template <bool kFma, typename AView>
+inline void tile16(const AView& av, const float* b, float* c, std::size_t n,
+                   std::size_t i, std::size_t ir, std::size_t j,
+                   std::size_t pb, std::size_t pe) {
+  __m256 acc[4][2];
+  for (std::size_t r = 0; r < ir; ++r) {
+    if (pb == 0) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    } else {
+      acc[r][0] = _mm256_loadu_ps(c + (i + r) * n + j);
+      acc[r][1] = _mm256_loadu_ps(c + (i + r) * n + j + 8);
+    }
+  }
+  for (std::size_t p = pb; p < pe; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b + p * n + j);
+    const __m256 b1 = _mm256_loadu_ps(b + p * n + j + 8);
+    for (std::size_t r = 0; r < ir; ++r) {
+      const __m256 as = _mm256_set1_ps(av.at(i + r, p));
+      acc[r][0] = accumulate<kFma>(acc[r][0], as, b0);
+      acc[r][1] = accumulate<kFma>(acc[r][1], as, b1);
+    }
+  }
+  for (std::size_t r = 0; r < ir; ++r) {
+    _mm256_storeu_ps(c + (i + r) * n + j, acc[r][0]);
+    _mm256_storeu_ps(c + (i + r) * n + j + 8, acc[r][1]);
+  }
+}
+
+/// One 8-column tile (full vector) over rows [i, i+ir).
+template <bool kFma, typename AView>
+inline void tile8(const AView& av, const float* b, float* c, std::size_t n,
+                  std::size_t i, std::size_t ir, std::size_t j,
+                  std::size_t pb, std::size_t pe) {
+  __m256 acc[4];
+  for (std::size_t r = 0; r < ir; ++r) {
+    acc[r] = pb == 0 ? _mm256_setzero_ps()
+                     : _mm256_loadu_ps(c + (i + r) * n + j);
+  }
+  for (std::size_t p = pb; p < pe; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b + p * n + j);
+    for (std::size_t r = 0; r < ir; ++r) {
+      const __m256 as = _mm256_set1_ps(av.at(i + r, p));
+      acc[r] = accumulate<kFma>(acc[r], as, b0);
+    }
+  }
+  for (std::size_t r = 0; r < ir; ++r) {
+    _mm256_storeu_ps(c + (i + r) * n + j, acc[r]);
+  }
+}
+
+/// Masked column tail (rem = n % 8 active lanes) over rows [i, i+ir).
+template <bool kFma, typename AView>
+inline void tile_tail(const AView& av, const float* b, float* c,
+                      std::size_t n, std::size_t i, std::size_t ir,
+                      std::size_t j, std::size_t rem, std::size_t pb,
+                      std::size_t pe) {
+  const __m256i mask = tail_mask(rem);
+  __m256 acc[4];
+  for (std::size_t r = 0; r < ir; ++r) {
+    acc[r] = pb == 0 ? _mm256_setzero_ps()
+                     : _mm256_maskload_ps(c + (i + r) * n + j, mask);
+  }
+  for (std::size_t p = pb; p < pe; ++p) {
+    const __m256 b0 = _mm256_maskload_ps(b + p * n + j, mask);
+    for (std::size_t r = 0; r < ir; ++r) {
+      const __m256 as = _mm256_set1_ps(av.at(i + r, p));
+      acc[r] = accumulate<kFma>(acc[r], as, b0);
+    }
+  }
+  for (std::size_t r = 0; r < ir; ++r) {
+    _mm256_maskstore_ps(c + (i + r) * n + j, mask, acc[r]);
+  }
+}
+
+/// Shared driver: rows [r0, r1) of C = A(view) * B with k-tiling `kc`.
+template <bool kFma, typename AView>
+void gemm_rows(const AView& av, const float* b, float* c, std::size_t k,
+               std::size_t n, std::size_t r0, std::size_t r1,
+               std::size_t kc) {
+  const std::size_t rem = n % 8;
+  const std::size_t n16 = n - (n % 16);
+  const std::size_t n8 = n - rem;
+  for (std::size_t pb = 0; pb < k; pb += kc) {
+    const std::size_t pe = std::min(pb + kc, k);
+    std::size_t i = r0;
+    for (; i + 4 <= r1; i += 4) {
+      std::size_t j = 0;
+      for (; j < n16; j += 16) tile16<kFma>(av, b, c, n, i, 4, j, pb, pe);
+      for (; j < n8; j += 8) tile8<kFma>(av, b, c, n, i, 4, j, pb, pe);
+      if (rem != 0) tile_tail<kFma>(av, b, c, n, i, 4, j, rem, pb, pe);
+    }
+    for (; i < r1; ++i) {
+      std::size_t j = 0;
+      for (; j < n16; j += 16) tile16<kFma>(av, b, c, n, i, 1, j, pb, pe);
+      for (; j < n8; j += 8) tile8<kFma>(av, b, c, n, i, 1, j, pb, pe);
+      if (rem != 0) tile_tail<kFma>(av, b, c, n, i, 1, j, rem, pb, pe);
+    }
+  }
+}
+
+}  // namespace
+
+void matmul_rows_avx2(const float* a, const float* b, float* c,
+                      std::size_t k, std::size_t n, std::size_t r0,
+                      std::size_t r1, std::size_t kc, bool fma) {
+  const ANormal av{a, k};
+  if (fma) {
+    gemm_rows<true>(av, b, c, k, n, r0, r1, kc);
+  } else {
+    gemm_rows<false>(av, b, c, k, n, r0, r1, kc);
+  }
+}
+
+void matmul_tn_rows_avx2(const float* a, const float* b, float* c,
+                         std::size_t k, std::size_t m, std::size_t n,
+                         std::size_t i0, std::size_t i1, std::size_t kc,
+                         bool fma) {
+  const ATransposed av{a, m};
+  if (fma) {
+    gemm_rows<true>(av, b, c, k, n, i0, i1, kc);
+  } else {
+    gemm_rows<false>(av, b, c, k, n, i0, i1, kc);
+  }
+}
+
+namespace {
+
+/// NT layout: C(i, j) = dot(A row i, B row j), B is (n x k) row-major.
+/// Vectorizing the dot along k would split one element's chain across
+/// lanes (a horizontal reduction — different rounding order), so like
+/// the NN/TN kernels this vectorizes across output COLUMNS: lane l owns
+/// the full ascending-p chain of C(i, j + l), fed by a manual 8-way pack
+/// of b[(j+l)*k + p]. The pack costs 8 scalar loads per p, but one pack
+/// serves all 4 rows of the A micro-tile (32 mul+adds), and the 8 B-row
+/// streams advance sequentially so the loads stay in cache. The n % 8
+/// column tail runs the scalar dot loop — identical chain, so identity
+/// holds without a masked pack.
+template <bool kFma>
+void nt_rows(const float* a, const float* b, float* c, std::size_t k,
+             std::size_t n, std::size_t r0, std::size_t r1) {
+  const std::size_t n8 = n - n % 8;
+  std::size_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    for (std::size_t j = 0; j < n8; j += 8) {
+      __m256 acc[4];
+      for (auto& v : acc) v = _mm256_setzero_ps();
+      const float* brows = b + j * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m256 bv = _mm256_set_ps(
+            brows[7 * k + p], brows[6 * k + p], brows[5 * k + p],
+            brows[4 * k + p], brows[3 * k + p], brows[2 * k + p],
+            brows[1 * k + p], brows[0 * k + p]);
+        for (std::size_t r = 0; r < 4; ++r) {
+          const __m256 as = _mm256_set1_ps(a[(i + r) * k + p]);
+          acc[r] = accumulate<kFma>(acc[r], as, bv);
+        }
+      }
+      for (std::size_t r = 0; r < 4; ++r) {
+        _mm256_storeu_ps(c + (i + r) * n + j, acc[r]);
+      }
+    }
+  }
+  for (; i < r1; ++i) {
+    for (std::size_t j = 0; j < n8; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      const float* brows = b + j * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m256 bv = _mm256_set_ps(
+            brows[7 * k + p], brows[6 * k + p], brows[5 * k + p],
+            brows[4 * k + p], brows[3 * k + p], brows[2 * k + p],
+            brows[1 * k + p], brows[0 * k + p]);
+        acc = accumulate<kFma>(acc, _mm256_set1_ps(a[i * k + p]), bv);
+      }
+      _mm256_storeu_ps(c + i * n + j, acc);
+    }
+  }
+  // Column tail: plain dots (each its own ascending-p chain). With fma,
+  // std::fma keeps the tail on the same single-rounding contract.
+  for (i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    for (std::size_t j = n8; j < n; ++j) {
+      const float* brow = b + j * k;
+      float dot = 0.0f;
+      if constexpr (kFma) {
+        for (std::size_t p = 0; p < k; ++p) {
+          dot = std::fma(arow[p], brow[p], dot);
+        }
+      } else {
+        for (std::size_t p = 0; p < k; ++p) dot += arow[p] * brow[p];
+      }
+      c[i * n + j] = dot;
+    }
+  }
+}
+
+}  // namespace
+
+void matmul_nt_rows_avx2(const float* a, const float* b, float* c,
+                         std::size_t k, std::size_t n, std::size_t r0,
+                         std::size_t r1, bool fma) {
+  if (fma) {
+    nt_rows<true>(a, b, c, k, n, r0, r1);
+  } else {
+    nt_rows<false>(a, b, c, k, n, r0, r1);
+  }
+}
+
+void add_row_relu_rows_avx2(float* data, const float* bias,
+                            std::size_t cols, std::size_t r0,
+                            std::size_t r1) {
+  // Operand order matters: vmaxps returns the SECOND operand when either
+  // is NaN, and the scalar tier's std::max(v, 0.0f) = (v < 0) ? 0 : v
+  // keeps a NaN v. max_ps(zero, v) matches that exactly (including
+  // max(+0, -0) == -0); max_ps(v, zero) would silently launder NaN
+  // activations into zeros — the same poisoned-value masking PR 3
+  // scrubbed out of the GEMM kernels.
+  const __m256 zero = _mm256_setzero_ps();
+  const std::size_t rem = cols % 8;
+  const std::size_t c8 = cols - rem;
+  const __m256i mask = rem != 0 ? tail_mask(rem) : _mm256_setzero_si256();
+  for (std::size_t r = r0; r < r1; ++r) {
+    float* out = data + r * cols;
+    std::size_t c = 0;
+    for (; c < c8; c += 8) {
+      const __m256 v = _mm256_add_ps(_mm256_loadu_ps(out + c),
+                                     _mm256_loadu_ps(bias + c));
+      _mm256_storeu_ps(out + c, _mm256_max_ps(zero, v));
+    }
+    if (rem != 0) {
+      const __m256 v = _mm256_add_ps(_mm256_maskload_ps(out + c, mask),
+                                     _mm256_maskload_ps(bias + c, mask));
+      _mm256_maskstore_ps(out + c, mask, _mm256_max_ps(zero, v));
+    }
+  }
+}
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double peak_gflops_probe(double seconds) {
+  if (!cpu_supports(IsaLevel::kAvx2)) return 0.0;
+  const bool fma = cpu_supports(IsaLevel::kAvx2Fma);
+  // 8 independent accumulator chains hide the FMA/add latency; per
+  // iteration each chain retires 8 lanes x (2 flops fused or 2 separate
+  // ops) = 16 flops.
+  __m256 acc[8];
+  for (auto& v : acc) v = _mm256_set1_ps(1.0f);
+  const __m256 x = _mm256_set1_ps(0.999999f);
+  const __m256 y = _mm256_set1_ps(1e-7f);
+  double best = 0.0;
+  const double deadline = now_seconds() + seconds;
+  do {
+    constexpr std::size_t kIters = 1u << 20;
+    const double start = now_seconds();
+    if (fma) {
+      for (std::size_t it = 0; it < kIters; ++it) {
+        for (auto& v : acc) v = _mm256_fmadd_ps(v, x, y);
+      }
+    } else {
+      for (std::size_t it = 0; it < kIters; ++it) {
+        for (auto& v : acc) v = _mm256_add_ps(_mm256_mul_ps(v, x), y);
+      }
+    }
+    const double dt = now_seconds() - start;
+    const double flops = static_cast<double>(kIters) * 8.0 * 8.0 * 2.0;
+    if (dt > 0.0) best = std::max(best, flops / dt / 1e9);
+  } while (now_seconds() < deadline);
+  // Keep the accumulators alive past the optimizer.
+  float sink[8];
+  _mm256_storeu_ps(sink, _mm256_add_ps(acc[0], acc[7]));
+  volatile float keep = sink[0];
+  (void)keep;
+  return best;
+}
+
+}  // namespace lightnas::nn::simd
+
+#endif  // LIGHTNAS_HAVE_AVX2

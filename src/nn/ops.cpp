@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace lightnas::nn::ops {
 
 namespace {
@@ -23,7 +25,9 @@ void accumulate(const VarPtr& p, const Tensor& g) {
 }  // namespace
 
 VarPtr matmul(const VarPtr& a, const VarPtr& b) {
-  assert(a->value.cols() == b->value.rows());
+  LIGHTNAS_CHECK(a->value.cols() == b->value.rows(),
+                 "ops::matmul: " + a->value.shape_string() + " * " +
+                     b->value.shape_string());
   Tensor out = lightnas::nn::matmul(a->value, b->value);
   return make_node(std::move(out), {a, b}, [a, b](Var& node) {
     // dL/dA = dL/dC * B^T ; dL/dB = A^T * dL/dC
@@ -33,7 +37,9 @@ VarPtr matmul(const VarPtr& a, const VarPtr& b) {
 }
 
 VarPtr add(const VarPtr& a, const VarPtr& b) {
-  assert(a->value.same_shape(b->value));
+  LIGHTNAS_CHECK(a->value.same_shape(b->value),
+                 "ops::add: " + a->value.shape_string() + " + " +
+                     b->value.shape_string());
   Tensor out = a->value;
   out.add_inplace(b->value);
   return make_node(std::move(out), {a, b}, [a, b](Var& node) {
@@ -43,7 +49,9 @@ VarPtr add(const VarPtr& a, const VarPtr& b) {
 }
 
 VarPtr sub(const VarPtr& a, const VarPtr& b) {
-  assert(a->value.same_shape(b->value));
+  LIGHTNAS_CHECK(a->value.same_shape(b->value),
+                 "ops::sub: " + a->value.shape_string() + " - " +
+                     b->value.shape_string());
   Tensor out = a->value;
   out.sub_inplace(b->value);
   return make_node(std::move(out), {a, b}, [a, b](Var& node) {
@@ -55,7 +63,9 @@ VarPtr sub(const VarPtr& a, const VarPtr& b) {
 }
 
 VarPtr mul(const VarPtr& a, const VarPtr& b) {
-  assert(a->value.same_shape(b->value));
+  LIGHTNAS_CHECK(a->value.same_shape(b->value),
+                 "ops::mul: " + a->value.shape_string() + " * " +
+                     b->value.shape_string());
   Tensor out = a->value;
   for (std::size_t i = 0; i < out.size(); ++i) out[i] *= b->value[i];
   return make_node(std::move(out), {a, b}, [a, b](Var& node) {
@@ -69,8 +79,10 @@ VarPtr mul(const VarPtr& a, const VarPtr& b) {
 }
 
 VarPtr add_bias(const VarPtr& x, const VarPtr& bias) {
-  assert(bias->value.rows() == 1);
-  assert(bias->value.cols() == x->value.cols());
+  LIGHTNAS_CHECK(bias->value.rows() == 1 &&
+                     bias->value.cols() == x->value.cols(),
+                 "ops::add_bias: " + x->value.shape_string() + " + bias " +
+                     bias->value.shape_string());
   Tensor out = x->value;
   out.add_row_inplace(bias->value);
   return make_node(std::move(out), {x, bias}, [x, bias](Var& node) {
@@ -106,7 +118,9 @@ VarPtr add_scalar(const VarPtr& x, double constant) {
 }
 
 VarPtr mul_scalar(const VarPtr& x, const VarPtr& scalar) {
-  assert(scalar->value.rows() == 1 && scalar->value.cols() == 1);
+  LIGHTNAS_CHECK(scalar->value.rows() == 1 && scalar->value.cols() == 1,
+                 "ops::mul_scalar: scalar operand is " +
+                     scalar->value.shape_string());
   const float s = scalar->value.item();
   Tensor out = x->value;
   out.scale_inplace(s);
@@ -232,11 +246,13 @@ VarPtr detach(const VarPtr& x) {
 }
 
 VarPtr vstack(const std::vector<VarPtr>& blocks) {
-  assert(!blocks.empty());
+  LIGHTNAS_CHECK(!blocks.empty(), "ops::vstack: empty block list");
   const std::size_t cols = blocks.front()->value.cols();
   std::size_t rows = 0;
   for (const VarPtr& b : blocks) {
-    assert(b->value.cols() == cols);
+    LIGHTNAS_CHECK(b->value.cols() == cols,
+                   "ops::vstack: block " + b->value.shape_string() +
+                       " vs leading width " + std::to_string(cols));
     rows += b->value.rows();
   }
   Tensor out = Tensor::uninitialized(rows, cols);
@@ -276,8 +292,10 @@ VarPtr binarize_rows_ste(const VarPtr& x) {
 }
 
 VarPtr slice_rows(const VarPtr& x, std::size_t start, std::size_t count) {
-  assert(start + count <= x->value.rows());
-  assert(count > 0);
+  LIGHTNAS_CHECK(count > 0 && start + count <= x->value.rows(),
+                 "ops::slice_rows: [" + std::to_string(start) + ", " +
+                     std::to_string(start + count) + ") of " +
+                     x->value.shape_string());
   Tensor out = Tensor::uninitialized(count, x->value.cols());
   for (std::size_t r = 0; r < count; ++r) {
     for (std::size_t c = 0; c < out.cols(); ++c) {
@@ -297,7 +315,10 @@ VarPtr slice_rows(const VarPtr& x, std::size_t start, std::size_t count) {
 
 VarPtr softmax_cross_entropy(const VarPtr& logits,
                              const std::vector<std::size_t>& labels) {
-  assert(logits->value.rows() == labels.size());
+  LIGHTNAS_CHECK(logits->value.rows() == labels.size(),
+                 "ops::softmax_cross_entropy: logits " +
+                     logits->value.shape_string() + " vs " +
+                     std::to_string(labels.size()) + " labels");
   const std::size_t batch = logits->value.rows();
   const std::size_t classes = logits->value.cols();
 
@@ -305,7 +326,10 @@ VarPtr softmax_cross_entropy(const VarPtr& logits,
   Tensor probs = Tensor::uninitialized(batch, classes);
   double total_loss = 0.0;
   for (std::size_t r = 0; r < batch; ++r) {
-    assert(labels[r] < classes);
+    LIGHTNAS_CHECK(labels[r] < classes,
+                   "ops::softmax_cross_entropy: label " +
+                       std::to_string(labels[r]) + " >= " +
+                       std::to_string(classes) + " classes");
     float mx = logits->value.at(r, 0);
     for (std::size_t c = 1; c < classes; ++c) {
       mx = std::max(mx, logits->value.at(r, c));
@@ -336,7 +360,9 @@ VarPtr softmax_cross_entropy(const VarPtr& logits,
 }
 
 VarPtr mse_loss(const VarPtr& pred, const VarPtr& target) {
-  assert(pred->value.same_shape(target->value));
+  LIGHTNAS_CHECK(pred->value.same_shape(target->value),
+                 "ops::mse_loss: pred " + pred->value.shape_string() +
+                     " vs target " + target->value.shape_string());
   double total = 0.0;
   for (std::size_t i = 0; i < pred->value.size(); ++i) {
     const double d = static_cast<double>(pred->value[i]) -
@@ -359,8 +385,9 @@ VarPtr mse_loss(const VarPtr& pred, const VarPtr& target) {
 }
 
 double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
-  assert(logits.rows() == labels.size());
-  assert(!labels.empty());
+  LIGHTNAS_CHECK(logits.rows() == labels.size() && !labels.empty(),
+                 "ops::accuracy: logits " + logits.shape_string() + " vs " +
+                     std::to_string(labels.size()) + " labels");
   std::size_t correct = 0;
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     if (logits.argmax_row(r) == labels[r]) ++correct;

@@ -29,30 +29,71 @@ struct ChunkGuard {
 
 ParallelContext::ParallelContext() : ParallelContext(ParallelConfig{}) {}
 
-ParallelContext::ParallelContext(const ParallelConfig& config)
-    : config_(config) {
-  if (config_.threads == 0) config_.threads = 1;
-  if (config_.block == 0) config_.block = 1;
-  if (config_.threads > 1) {
-    // The caller always runs the first chunk, so the pool only needs
-    // threads - 1 workers to reach the configured lane count.
-    pool_ = std::make_unique<util::ThreadPool>(config_.threads - 1);
-  }
+ParallelContext::ParallelContext(const ParallelConfig& config) {
+  install(config);
 }
 
 ParallelContext::~ParallelContext() = default;
 
+void ParallelContext::install(const ParallelConfig& config) {
+  ParallelConfig normalized = config;
+  if (normalized.threads == 0) normalized.threads = 1;
+  if (normalized.block == 0) normalized.block = 1;
+  std::shared_ptr<util::ThreadPool> pool;
+  if (normalized.threads > 1) {
+    // The caller always runs the first chunk, so the pool only needs
+    // threads - 1 workers to reach the configured lane count.
+    pool = std::make_shared<util::ThreadPool>(normalized.threads - 1);
+  }
+  // Order does not matter for correctness (for_rows tolerates any mix of
+  // old/new values), but publish the knobs before the pool so a dispatch
+  // racing the swap sizes its chunks for the pool it is about to load.
+  threads_.store(normalized.threads, std::memory_order_relaxed);
+  block_.store(normalized.block, std::memory_order_relaxed);
+  min_work_.store(normalized.min_work, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_.swap(pool);
+  }
+  // `pool` now holds the previous pool (if any) and releases it here —
+  // outside the lock, so joining its workers cannot stall a concurrent
+  // dispatch's snapshot. If a concurrent for_rows still holds a
+  // snapshot, the pool drains and joins when that last holder drops it.
+}
+
+std::shared_ptr<util::ThreadPool> ParallelContext::pool_snapshot() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_;
+}
+
+ParallelConfig ParallelContext::config() const {
+  ParallelConfig config;
+  config.threads = threads_.load(std::memory_order_relaxed);
+  config.block = block_.load(std::memory_order_relaxed);
+  config.min_work = min_work_.load(std::memory_order_relaxed);
+  return config;
+}
+
 bool ParallelContext::should_parallelize(std::size_t rows,
                                          std::size_t work) const {
-  return pool_ != nullptr && !tl_in_chunk && rows >= 2 &&
-         work >= config_.min_work;
+  // threads_ > 1 implies a pool was installed; if a reconfigure lands
+  // between this check and the snapshot in for_rows, for_rows simply
+  // runs serial or on the new pool — both are correct.
+  return threads_.load(std::memory_order_relaxed) > 1 && !tl_in_chunk &&
+         rows >= 2 && work >= min_work_.load(std::memory_order_relaxed);
 }
 
 void ParallelContext::for_rows(
     std::size_t rows,
     const std::function<void(std::size_t, std::size_t)>& fn) const {
-  const std::size_t chunks = std::min(config_.threads, rows);
-  if (pool_ == nullptr || tl_in_chunk || chunks <= 1) {
+  // One snapshot per dispatch: every chunk of this call runs on `pool`,
+  // and holding the shared_ptr keeps the pool's workers alive until the
+  // per-call latch below has been signalled by all of them — even if
+  // configure_global swaps in a replacement mid-call.
+  const std::shared_ptr<util::ThreadPool> pool = pool_snapshot();
+  const std::size_t chunks =
+      std::min(threads_.load(std::memory_order_relaxed), rows);
+  if (pool == nullptr || tl_in_chunk || chunks <= 1) {
     fn(0, rows);
     return;
   }
@@ -66,7 +107,7 @@ void ParallelContext::for_rows(
   for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t begin = c * rows / chunks;
     const std::size_t end = (c + 1) * rows / chunks;
-    pool_->submit([&, begin, end] {
+    pool->submit([&, begin, end] {
       {
         ChunkGuard guard;
         fn(begin, end);
@@ -97,14 +138,7 @@ ParallelContext& ParallelContext::global() {
 }
 
 void ParallelContext::configure_global(const ParallelConfig& config) {
-  ParallelContext& g = global();
-  g.pool_.reset();
-  g.config_ = config;
-  if (g.config_.threads == 0) g.config_.threads = 1;
-  if (g.config_.block == 0) g.config_.block = 1;
-  if (g.config_.threads > 1) {
-    g.pool_ = std::make_unique<util::ThreadPool>(g.config_.threads - 1);
-  }
+  global().install(config);
 }
 
 ParallelScope::ParallelScope(const ParallelContext* ctx) {

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 namespace lightnas::util {
 class ThreadPool;
@@ -48,9 +50,16 @@ class ParallelContext {
   ParallelContext(const ParallelContext&) = delete;
   ParallelContext& operator=(const ParallelContext&) = delete;
 
-  std::size_t threads() const { return config_.threads; }
-  std::size_t block() const { return config_.block; }
-  const ParallelConfig& config() const { return config_; }
+  std::size_t threads() const {
+    return threads_.load(std::memory_order_relaxed);
+  }
+  std::size_t block() const {
+    return block_.load(std::memory_order_relaxed);
+  }
+  /// Snapshot of the current knobs. By value: the global context can be
+  /// reconfigured concurrently (see configure_global), so a reference
+  /// into the context would be a read of mutating state.
+  ParallelConfig config() const;
 
   /// True when a kernel with `rows` output rows and `work` scalar ops
   /// should be dispatched on the pool. Always false inside a worker
@@ -69,16 +78,37 @@ class ParallelContext {
   /// the innermost active ParallelScope on this thread, else global().
   static const ParallelContext& current();
 
-  /// Process-wide default context; serial until configured. Reconfigure
-  /// only from single-threaded startup code (the CLI's --threads /
-  /// --gemm-block flags) — swapping the pool under running kernels is a
-  /// race by construction.
+  /// Process-wide default context; serial until configured.
   static ParallelContext& global();
+
+  /// Swap the global context's knobs and pool. Safe to call while other
+  /// threads are dispatching kernels: every `for_rows` snapshots the
+  /// pool once (a shared_ptr copy), so in-flight dispatches finish on
+  /// the pool they started with, and the old pool's workers join only
+  /// after its last snapshot holder drops it. Must not be called from a
+  /// pool worker thread (joining your own pool would deadlock) — kernel
+  /// bodies never do.
   static void configure_global(const ParallelConfig& config);
 
  private:
-  ParallelConfig config_;
-  std::unique_ptr<util::ThreadPool> pool_;
+  void install(const ParallelConfig& config);
+
+  /// Swap-safe snapshot of the current pool (may be null when serial).
+  std::shared_ptr<util::ThreadPool> pool_snapshot() const;
+
+  // Knobs are independent relaxed atomics rather than one struct: a
+  // kernel mixing a freshly configured block size with the previous
+  // thread count is harmless (both values are always valid), and this
+  // keeps should_parallelize() — called on every kernel entry — at two
+  // plain loads. The pool slot itself is a mutex-guarded shared_ptr
+  // (not std::atomic<shared_ptr>, whose libstdc++ spinlock protocol
+  // ThreadSanitizer cannot model): the mutex is only touched by actual
+  // pool dispatches and reconfigures, never on the serial fast path.
+  std::atomic<std::size_t> threads_{1};
+  std::atomic<std::size_t> block_{64};
+  std::atomic<std::size_t> min_work_{1u << 16};
+  mutable std::mutex pool_mu_;
+  std::shared_ptr<util::ThreadPool> pool_;
 };
 
 /// RAII thread-local override: while alive, ParallelContext::current()

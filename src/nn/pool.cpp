@@ -81,11 +81,11 @@ std::string PoolStats::to_string() const {
 TensorPool::TensorPool() = default;
 TensorPool::~TensorPool() = default;
 
-std::vector<float> TensorPool::acquire(std::size_t count) {
+AlignedVector TensorPool::acquire(std::size_t count) {
   if (count == 0) return {};
   const auto it = buckets_.find(count);
   if (it != buckets_.end() && !it->second.empty()) {
-    std::vector<float> buffer = std::move(it->second.back());
+    AlignedVector buffer = std::move(it->second.back());
     it->second.pop_back();
     free_bytes_ -= buffer.capacity() * sizeof(float);
     --free_count_;
@@ -99,11 +99,11 @@ std::vector<float> TensorPool::acquire(std::size_t count) {
   }
   ++stats_.buffer_misses;
   global_counters().buffer_misses.add();
-  std::vector<float> buffer(count);
+  AlignedVector buffer(count);
   return buffer;
 }
 
-void TensorPool::release(std::vector<float>&& buffer) noexcept {
+void TensorPool::release(AlignedVector&& buffer) noexcept {
   const std::size_t capacity = buffer.capacity();
   if (capacity == 0) return;
   if (free_bytes_ + capacity * sizeof(float) > max_free_bytes_) return;

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nn/aligned.hpp"
+
 namespace lightnas::nn {
 
 /// Allocation-telemetry counters of the memory-reuse layer. A "buffer"
@@ -64,13 +66,15 @@ class TensorPool {
 
   /// A buffer with size() == count, drawn from the matching free list
   /// when possible. Contents are UNSPECIFIED (stale values from the
-  /// previous user) — the caller must overwrite every element.
-  std::vector<float> acquire(std::size_t count);
+  /// previous user) — the caller must overwrite every element. The
+  /// buffer base is always kTensorAlignment-aligned (recycled buffers
+  /// were allocated through the same aligned allocator).
+  AlignedVector acquire(std::size_t count);
 
   /// Return a buffer to its capacity-keyed free list. Never throws;
   /// drops the buffer on the floor (plain free) if the pool is at its
   /// retention cap or bookkeeping cannot allocate.
-  void release(std::vector<float>&& buffer) noexcept;
+  void release(AlignedVector&& buffer) noexcept;
 
   /// Counters since this pool was created (thread-confined reads).
   PoolStats stats() const;
@@ -99,7 +103,7 @@ class TensorPool {
  private:
   void bump_global(std::uint64_t PoolStats::*field, std::uint64_t n);
 
-  std::unordered_map<std::size_t, std::vector<std::vector<float>>> buckets_;
+  std::unordered_map<std::size_t, std::vector<AlignedVector>> buckets_;
   std::size_t free_bytes_ = 0;
   std::size_t free_count_ = 0;
   std::size_t max_free_bytes_ = std::size_t{1} << 29;  // 512 MiB

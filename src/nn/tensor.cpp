@@ -9,6 +9,8 @@
 
 #include "nn/parallel.hpp"
 #include "nn/pool.hpp"
+#include "nn/simd.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace lightnas::nn {
@@ -71,7 +73,7 @@ Tensor& Tensor::operator=(Tensor&& other) noexcept {
 
 Tensor::~Tensor() { release_buffer(std::move(data_)); }
 
-void Tensor::release_buffer(std::vector<float>&& buffer) noexcept {
+void Tensor::release_buffer(AlignedVector&& buffer) noexcept {
   if (buffer.capacity() == 0) return;
   if (TensorPool* pool = TensorPool::active()) {
     pool->release(std::move(buffer));
@@ -164,12 +166,14 @@ void Tensor::fill(float value) {
 }
 
 void Tensor::add_inplace(const Tensor& other) {
-  assert(same_shape(other));
+  LIGHTNAS_CHECK(same_shape(other), "add_inplace: " + shape_string() +
+                                        " += " + other.shape_string());
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 
 void Tensor::sub_inplace(const Tensor& other) {
-  assert(same_shape(other));
+  LIGHTNAS_CHECK(same_shape(other), "sub_inplace: " + shape_string() +
+                                        " -= " + other.shape_string());
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
 }
 
@@ -178,7 +182,8 @@ void Tensor::scale_inplace(float s) {
 }
 
 void Tensor::axpy_inplace(float s, const Tensor& other) {
-  assert(same_shape(other));
+  LIGHTNAS_CHECK(same_shape(other), "axpy_inplace: " + shape_string() +
+                                        " += s * " + other.shape_string());
   for (std::size_t i = 0; i < data_.size(); ++i) {
     data_[i] += s * other.data_[i];
   }
@@ -189,7 +194,9 @@ void Tensor::add_row_inplace(const Tensor& row) {
 }
 
 void Tensor::add_row_inplace(const Tensor& row, const ParallelContext& ctx) {
-  assert(row.rows() == 1 && row.cols() == cols_);
+  LIGHTNAS_CHECK(row.rows() == 1 && row.cols() == cols_,
+                 "add_row_inplace: " + shape_string() + " += row " +
+                     row.shape_string());
   const float* bias = row.data_.data();
   const std::size_t cols = cols_;
   float* data = data_.data();
@@ -231,11 +238,21 @@ void Tensor::add_row_relu_inplace(const Tensor& row) {
 
 void Tensor::add_row_relu_inplace(const Tensor& row,
                                   const ParallelContext& ctx) {
-  assert(row.rows() == 1 && row.cols() == cols_);
+  LIGHTNAS_CHECK(row.rows() == 1 && row.cols() == cols_,
+                 "add_row_relu_inplace: " + shape_string() + " += row " +
+                     row.shape_string());
   const float* bias = row.data_.data();
   const std::size_t cols = cols_;
   float* data = data_.data();
-  const auto body = [data, bias, cols](std::size_t r0, std::size_t r1) {
+  // ISA resolved once per call so every row chunk of one dispatch uses
+  // the same kernel. Both tiers compute max(v + bias, 0) with one
+  // rounding per element — bit-identical by construction.
+  const bool vec = simd::active_isa() != simd::IsaLevel::kScalar;
+  const auto body = [data, bias, cols, vec](std::size_t r0, std::size_t r1) {
+    if (vec) {
+      simd::add_row_relu_rows_avx2(data, bias, cols, r0, r1);
+      return;
+    }
     for (std::size_t r = r0; r < r1; ++r) {
       float* out = data + r * cols;
       for (std::size_t c = 0; c < cols; ++c) {
@@ -466,7 +483,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, const ParallelContext& ctx) {
-  assert(a.cols() == b.rows());
+  LIGHTNAS_CHECK(a.cols() == b.rows(),
+                 "matmul: " + a.shape_string() + " * " + b.shape_string());
   Tensor c = Tensor::uninitialized(a.rows(), b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (k == 0) {  // no k-blocks: the kernel never writes C
@@ -477,8 +495,17 @@ Tensor matmul(const Tensor& a, const Tensor& b, const ParallelContext& ctx) {
   const float* pb = b.data().data();
   float* pc = c.data().data();
   const std::size_t kc = ctx.block();
-  const auto body = [pa, pb, pc, k, n, kc](std::size_t r0, std::size_t r1) {
-    matmul_rows(pa, pb, pc, k, n, r0, r1, kc);
+  // ISA resolved once per call, before any row partitioning, so every
+  // chunk of one dispatch runs the same kernel tier (see simd.hpp).
+  const simd::IsaLevel isa = simd::active_isa();
+  const bool fma = isa == simd::IsaLevel::kAvx2Fma;
+  const auto body = [pa, pb, pc, k, n, kc, isa,
+                     fma](std::size_t r0, std::size_t r1) {
+    if (isa != simd::IsaLevel::kScalar) {
+      simd::matmul_rows_avx2(pa, pb, pc, k, n, r0, r1, kc, fma);
+    } else {
+      matmul_rows(pa, pb, pc, k, n, r0, r1, kc);
+    }
   };
   if (ctx.should_parallelize(m, 2 * m * k * n)) {
     ctx.for_rows(m, body);
@@ -494,7 +521,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b,
                  const ParallelContext& ctx) {
-  assert(a.rows() == b.rows());
+  LIGHTNAS_CHECK(a.rows() == b.rows(), "matmul_tn: " + a.shape_string() +
+                                           "^T * " + b.shape_string());
   Tensor c = Tensor::uninitialized(a.cols(), b.cols());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   if (k == 0) {  // no k-blocks: the kernel never writes C
@@ -505,9 +533,15 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b,
   const float* pb = b.data().data();
   float* pc = c.data().data();
   const std::size_t kc = ctx.block();
-  const auto body = [pa, pb, pc, k, m, n, kc](std::size_t i0,
-                                              std::size_t i1) {
-    matmul_tn_rows(pa, pb, pc, k, m, n, i0, i1, kc);
+  const simd::IsaLevel isa = simd::active_isa();
+  const bool fma = isa == simd::IsaLevel::kAvx2Fma;
+  const auto body = [pa, pb, pc, k, m, n, kc, isa,
+                     fma](std::size_t i0, std::size_t i1) {
+    if (isa != simd::IsaLevel::kScalar) {
+      simd::matmul_tn_rows_avx2(pa, pb, pc, k, m, n, i0, i1, kc, fma);
+    } else {
+      matmul_tn_rows(pa, pb, pc, k, m, n, i0, i1, kc);
+    }
   };
   if (ctx.should_parallelize(m, 2 * m * k * n)) {
     ctx.for_rows(m, body);
@@ -523,7 +557,8 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b,
                  const ParallelContext& ctx) {
-  assert(a.cols() == b.cols());
+  LIGHTNAS_CHECK(a.cols() == b.cols(), "matmul_nt: " + a.shape_string() +
+                                           " * " + b.shape_string() + "^T");
   // The NT kernel assigns every element (dot accumulators start at 0),
   // so the output never needs a pre-fill, even for k == 0.
   Tensor c = Tensor::uninitialized(a.rows(), b.rows());
@@ -531,8 +566,15 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b,
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  const auto body = [pa, pb, pc, k, n](std::size_t r0, std::size_t r1) {
-    matmul_nt_rows(pa, pb, pc, k, n, r0, r1);
+  const simd::IsaLevel isa = simd::active_isa();
+  const bool fma = isa == simd::IsaLevel::kAvx2Fma;
+  const auto body = [pa, pb, pc, k, n, isa,
+                     fma](std::size_t r0, std::size_t r1) {
+    if (isa != simd::IsaLevel::kScalar) {
+      simd::matmul_nt_rows_avx2(pa, pb, pc, k, n, r0, r1, fma);
+    } else {
+      matmul_nt_rows(pa, pb, pc, k, n, r0, r1);
+    }
   };
   if (ctx.should_parallelize(m, 2 * m * k * n)) {
     ctx.for_rows(m, body);

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "nn/aligned.hpp"
+
 namespace lightnas::util {
 class Rng;
 }
@@ -67,8 +69,12 @@ class Tensor {
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
 
-  const std::vector<float>& data() const { return data_; }
-  std::vector<float>& data() { return data_; }
+  /// Underlying storage: a std::vector<float> over a 32-byte-aligned
+  /// allocator (see aligned.hpp), so kernel code can assume the buffer
+  /// base is AVX2-vector-aligned whether it came from the pool or the
+  /// heap.
+  const AlignedVector& data() const { return data_; }
+  AlignedVector& data() { return data_; }
 
   /// Scalar accessor; requires a 1x1 tensor.
   float item() const;
@@ -107,11 +113,11 @@ class Tensor {
 
  private:
   /// Donate the buffer to the active pool (plain free otherwise).
-  static void release_buffer(std::vector<float>&& buffer) noexcept;
+  static void release_buffer(AlignedVector&& buffer) noexcept;
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  AlignedVector data_;
 };
 
 /// Cache-blocked, register-blocked GEMM kernels with full IEEE
@@ -121,6 +127,15 @@ class Tensor {
 /// the result is bit-identical to the serial kernel: rows are
 /// partitioned into fixed contiguous chunks and every output element
 /// keeps a single ascending-k accumulation chain (see parallel.hpp).
+///
+/// On AVX2-capable hosts the row kernels additionally dispatch (once
+/// per call, before any row partitioning) to the SIMD microkernels of
+/// simd.hpp. The default `avx2` tier vectorizes across output columns
+/// with separately rounded mul+add, so it preserves the per-element
+/// accumulation chain exactly — results stay bit-identical to the
+/// scalar tier (and hence to every prior release). The opt-in
+/// `avx2fma` tier fuses the chain's mul+add pairs and is NOT
+/// bit-identical; see simd.hpp for the contract and overrides.
 
 /// C = A * B. Shapes: (m x k) * (k x n) -> (m x n).
 Tensor matmul(const Tensor& a, const Tensor& b);

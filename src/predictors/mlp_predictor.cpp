@@ -156,7 +156,10 @@ MlpPredictor::State MlpPredictor::export_state() const {
   state.target_std = target_std_;
   state.trained = trained_;
   for (const nn::VarPtr& param : mlp_->parameters()) {
-    state.tensors.push_back(param->value.data());
+    // State stays a plain std::vector blob (it is a serialization
+    // format, not kernel storage), so copy out of the aligned buffer.
+    state.tensors.emplace_back(param->value.data().begin(),
+                               param->value.data().end());
     state.shapes.emplace_back(param->value.rows(), param->value.cols());
   }
   return state;
@@ -181,7 +184,8 @@ MlpPredictor MlpPredictor::from_state(const State& state) {
         params[i]->value.size() != state.tensors[i].size()) {
       throw std::runtime_error("predictor state: shape mismatch");
     }
-    params[i]->value.data() = state.tensors[i];
+    params[i]->value.data().assign(state.tensors[i].begin(),
+                                   state.tensors[i].end());
   }
   predictor.target_mean_ = state.target_mean;
   predictor.target_std_ = state.target_std;

@@ -1,0 +1,16 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lightnas::util {
+
+void check_failed(const char* condition, const char* file, int line,
+                  const std::string& detail) {
+  std::fprintf(stderr, "LIGHTNAS_CHECK failed: %s\n  at %s:%d\n  %s\n",
+               condition, file, line, detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lightnas::util

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+namespace lightnas::util {
+
+/// Print a fatal precondition failure and abort. Never returns. Kept
+/// out of line so the failure branch costs one call in the hot paths.
+[[noreturn]] void check_failed(const char* condition, const char* file,
+                               int line, const std::string& detail);
+
+}  // namespace lightnas::util
+
+/// Hot-path precondition that survives every build type. The old bare
+/// `assert`s on the GEMM/elementwise entry points compiled out in
+/// Release, so a mismatched matmul or bias add silently read out of
+/// bounds; LIGHTNAS_CHECK instead aborts with the offending shapes.
+///
+/// `detail` is any expression convertible to std::string and is only
+/// evaluated on failure, so call sites can build rich messages
+/// (shape_string() concatenations) without paying for them when the
+/// check passes. The predicate itself must stay O(1) — these run on
+/// every kernel invocation.
+#define LIGHTNAS_CHECK(cond, detail)                                      \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::lightnas::util::check_failed(#cond, __FILE__, __LINE__, (detail)); \
+    }                                                                     \
+  } while (false)

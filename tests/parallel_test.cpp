@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -298,6 +299,52 @@ TEST(ParallelPredictor, ConcurrentTrainSharedPoolIsRaceFreeAndExact) {
           << "trainer " << t << " tensor " << i;
     }
   }
+}
+
+// Regression for the configure_global race: the old implementation
+// destroyed and rebuilt the global ThreadPool in place, so a dispatch
+// racing a reconfigure could submit to a half-destroyed pool. The fix
+// swaps a mutex-guarded shared_ptr slot — in-flight dispatches finish on
+// the pool they snapshotted while new ones pick up the replacement. This is the
+// second ThreadSanitizer target (build-tsan, LIGHTNAS_TSAN=ON); without
+// TSan it still exercises the swap path and checks every result stays
+// bit-identical to serial.
+TEST(ParallelContextTest, ConfigureGlobalDuringDispatchIsSafeAndExact) {
+  const Tensor a = random_tensor(37, 19, 21);
+  const Tensor b = random_tensor(19, 23, 22);
+  const ParallelContext serial;
+  const Tensor reference = matmul(a, b, serial);
+
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kSwaps = 120;
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<std::size_t> dispatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      while (!stop.load()) {
+        // Dispatches on the *global* context — the one being swapped.
+        const Tensor c = matmul(a, b, ParallelContext::global());
+        if (c.data() != reference.data()) mismatches.fetch_add(1);
+        dispatches.fetch_add(1);
+      }
+    });
+  }
+  // Hammer reconfiguration while the workers dispatch: every iteration
+  // tears down the previous pool and installs a fresh one.
+  const std::size_t thread_counts[] = {1, 2, 4, 3};
+  for (std::size_t s = 0; s < kSwaps; ++s) {
+    ParallelContext::configure_global(
+        eager_config(thread_counts[s % 4], 16 + (s % 3) * 24));
+  }
+  stop.store(true);
+  for (std::thread& t : workers) t.join();
+  ParallelContext::configure_global(ParallelConfig{});  // back to serial
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(dispatches.load(), 0u);
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 #include "cli_args.hpp"
 #include "core/lightnas.hpp"
 #include "nn/parallel.hpp"
+#include "nn/simd.hpp"
 #include "eval/accuracy_model.hpp"
 #include "io/serialize.hpp"
 #include "predictors/lut_predictor.hpp"
@@ -51,6 +52,22 @@ void install_parallel_context(const cli::Args& args) {
   if (config.threads > 1 || args.has("gemm-block")) {
     nn::ParallelContext::configure_global(config);
   }
+}
+
+/// Install the process-wide SIMD tier from --isa (default: best
+/// bit-identity-preserving tier the host supports, overridable with
+/// LIGHTNAS_ISA in the environment). scalar and avx2 are bit-identical;
+/// avx2fma is the opt-in fused tier that trades cross-ISA
+/// reproducibility for speed.
+void install_isa(const cli::Args& args) {
+  if (!args.has("isa")) return;
+  const std::string text = args.get("isa");
+  nn::simd::IsaLevel level;
+  if (!nn::simd::parse_isa(text, &level)) {
+    throw std::runtime_error("--isa " + text +
+                             ": expected scalar|avx2|avx2fma");
+  }
+  nn::simd::set_global_isa(level);  // throws if unsupported on this host
 }
 
 hw::DeviceProfile device_by_name(const std::string& name) {
@@ -599,6 +616,11 @@ void print_usage() {
       "  --threads N     parallel GEMM lanes for training/search/serving\n"
       "                  (default 1 = serial; results are bit-identical)\n"
       "  --gemm-block B  cache-block edge of the blocked GEMM kernels\n"
+      "  --isa T         SIMD tier of the dense kernels: scalar | avx2 |\n"
+      "                  avx2fma (default: best bit-identical tier the\n"
+      "                  CPU supports; env LIGHTNAS_ISA overrides too).\n"
+      "                  scalar and avx2 are bit-identical; avx2fma is\n"
+      "                  faster but changes rounding (opt-in)\n"
       "  --tensor-pool 0|1  recycle tensor buffers / autograd graphs\n"
       "                  (default 1; results are bit-identical)\n"
       "\n"
@@ -650,6 +672,7 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     const cli::Args args(argc - 1, argv + 1);
     install_parallel_context(args);
+    install_isa(args);
     if (command == "devices") return cmd_devices();
     if (command == "measure") return cmd_measure(args);
     if (command == "train-predictor") return cmd_train_predictor(args);
