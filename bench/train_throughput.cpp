@@ -1,20 +1,29 @@
 // Training-stack throughput: predictor training and search steps,
-// serial vs. 2/4/8 parallel GEMM lanes.
+// serial vs. 2/4/8 parallel GEMM lanes, plus a plan-compiled search leg.
 //
-// Two claims are checked, with different strictness:
-//  - Determinism (always enforced, any hardware): the threaded training
-//    path must produce bit-identical weights and predictions to the
-//    serial path, for every measured thread count. A mismatch exits 1.
+// Three claims are checked, with different strictness:
+//  - Determinism (always enforced, any hardware): the threaded, the
+//    repeated, and the plan-compiled search paths must all produce
+//    bit-identical results to the serial dynamic path. A mismatch
+//    exits 1.
+//  - Pool steady state (always enforced): repeating the identical
+//    serial search over the bench's long-lived warmed pool must incur
+//    zero buffer misses. The cumulative process-wide miss counter is
+//    still reported but is dominated by cold first-touch discovery and
+//    scales with workload size — the steady window is the property that
+//    would regress on a leak.
 //  - Speedup (enforced only when the machine can express it): with
 //    >= 4 hardware threads available, predictor training at 4 lanes
 //    must be >= 2x faster than serial, else exit 1. On smaller machines
-//    (CI containers are often 1-2 cores) the speedup gate is reported
-//    as SKIPPED — a 4-lane run on one core cannot beat serial by
-//    construction — while the determinism contract still runs in full.
+//    (CI containers are often 1-2 cores) the gate is SKIPPED — a 4-lane
+//    run on one core cannot beat serial by construction. The verdict is
+//    recorded in the JSON as `speedup_gate`
+//    (pass|fail|skipped_smoke|skipped_low_core) next to `hw_threads`,
+//    so a sub-1x reading on a starved container is self-describing.
 //
 // `--smoke` (used by the ctest registration, together with
-// LIGHTNAS_FAST=1) shrinks the workload to seconds and checks
-// determinism only.
+// LIGHTNAS_FAST=1) shrinks the workload to seconds and checks the
+// determinism and pool contracts only.
 
 #include <sys/resource.h>
 
@@ -110,12 +119,14 @@ struct SearchRun {
   double seconds = 0.0;
   std::string arch;
   double predicted_cost = 0.0;
+  core::RunHealth health;
 };
 
 SearchRun run_search(const space::SearchSpace& space,
                      const predictors::MlpPredictor& predictor,
                      const nn::SyntheticTask& task, bool smoke,
-                     const nn::ParallelContext* parallel) {
+                     const nn::ParallelContext* parallel,
+                     bool planned = false) {
   core::LightNasConfig config;
   config.seed = 3;
   config.epochs = smoke ? 2 : 6;
@@ -125,6 +136,14 @@ SearchRun run_search(const space::SearchSpace& space,
   config.batch_size = smoke ? 16 : 48;
   config.target = 24.0;
   config.parallel = parallel;
+  // Pin the plan compiler explicitly per leg (ignore LIGHTNAS_PLAN) so
+  // the dynamic legs stay dynamic and the planned leg is always planned,
+  // whatever the environment says. compile_after=1 (compile on first
+  // request) because short searches rarely repeat a Gumbel path: with
+  // the default trigger of 3 structural hits nothing would ever compile
+  // and the leg would exercise no plan machinery at all.
+  config.plan.enabled = planned;
+  config.plan.compile_after = 1;
   core::LightNas engine(space, predictor, task, core::SupernetConfig{},
                         config);
   const double start = now_seconds();
@@ -133,6 +152,7 @@ SearchRun run_search(const space::SearchSpace& space,
   run.seconds = now_seconds() - start;
   run.arch = result.architecture.serialize();
   run.predicted_cost = result.final_predicted_cost;
+  run.health = result.health;
   return run;
 }
 
@@ -147,6 +167,15 @@ int main(int argc, char** argv) {
 
   bench::banner("train_throughput",
                 "parallel blocked-GEMM training engine (serial vs threads)");
+
+  // Long-lived tensor pool for the whole bench. Engines install
+  // PoolMode::kInherit scopes, which *create and destroy* a private pool
+  // when the caller has none active — so without this scope every
+  // search() leg below rediscovered its buffers cold and the cumulative
+  // miss counter grew linearly with the number of legs (the old
+  // pool_misses:15018 reading). With it, warmth carries across legs and
+  // the steady-state window below measures the pool's real behavior.
+  nn::PooledScope bench_pool(nn::PoolMode::kFresh);
 
   const space::SearchSpace space = space::SearchSpace::fbnet_xavier();
   const std::size_t samples = smoke ? 768 : 6000;
@@ -197,6 +226,24 @@ int main(int argc, char** argv) {
 
   const SearchRun search_serial =
       run_search(space, predictor, task, smoke, nullptr);
+
+  // Steady-state pool window: the cumulative pool counters at process
+  // exit mix in every cold first-touch allocation (dataset construction,
+  // predictor training, the first epochs of each search), so their miss
+  // count grows with workload size without indicating a leak. Repeat the
+  // identical serial search over the now-warmed pool and measure the
+  // delta — in a healthy steady state the second run's misses are (near)
+  // zero because every buffer shape was discovered by the first.
+  const nn::PoolStats pool_warm = nn::TensorPool::global_stats();
+  const SearchRun search_steady =
+      run_search(space, predictor, task, smoke, nullptr);
+  const nn::PoolStats pool_steady =
+      nn::TensorPool::global_stats() - pool_warm;
+  const bool steady_repeat_same =
+      search_serial.arch == search_steady.arch &&
+      search_serial.predicted_cost == search_steady.predicted_cost;
+  identical = identical && steady_repeat_same;
+
   nn::ParallelConfig search_pc;
   search_pc.threads = 4;
   const nn::ParallelContext search_ctx(search_pc);
@@ -207,16 +254,51 @@ int main(int argc, char** argv) {
       search_serial.predicted_cost == search_parallel.predicted_cost;
   identical = identical && search_same;
 
+  // Planned leg: same serial search with the plan compiler on. The plan
+  // contract (bench/plan_compile, tests/plan_test) makes this trajectory
+  // bit-identical to the dynamic one, so it joins the identity gate.
+  const SearchRun search_planned =
+      run_search(space, predictor, task, smoke, nullptr, /*planned=*/true);
+  const bool planned_same =
+      search_serial.arch == search_planned.arch &&
+      search_serial.predicted_cost == search_planned.predicted_cost;
+  identical = identical && planned_same;
+
   util::Table search_table({"config", "search (s)", "speedup", "derived"});
   search_table.add_row({"serial",
                         util::fmt_double(search_serial.seconds, 2), "1.0",
                         "reference"});
   search_table.add_row(
+      {"serial (warm)", util::fmt_double(search_steady.seconds, 2),
+       util::fmt_double(search_serial.seconds / search_steady.seconds, 2),
+       steady_repeat_same ? "bit-identical" : "MISMATCH"});
+  search_table.add_row(
       {"4 threads", util::fmt_double(search_parallel.seconds, 2),
        util::fmt_double(search_serial.seconds / search_parallel.seconds, 2),
        search_same ? "bit-identical" : "MISMATCH"});
+  search_table.add_row(
+      {"planned", util::fmt_double(search_planned.seconds, 2),
+       util::fmt_double(search_serial.seconds / search_planned.seconds, 2),
+       planned_same ? "bit-identical" : "MISMATCH"});
   std::printf("\nsearch steps:\n");
   search_table.print(std::cout);
+  std::printf("steady-state pool window (2nd serial search): %llu buffer "
+              "misses, %.4f hit rate\n",
+              static_cast<unsigned long long>(pool_steady.buffer_misses),
+              pool_steady.buffer_hit_rate());
+
+  // --- gate verdicts (computed before the JSON so the file records
+  // --- them; a 0.958x speedup on a 2-core container previously went
+  // --- into the JSON with no hint that the gate never applied) --------
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const char* speedup_gate = "pass";
+  if (smoke) {
+    speedup_gate = "skipped_smoke";
+  } else if (hw_threads < 4) {
+    speedup_gate = "skipped_low_core";
+  } else if (speedup_at_4 < 2.0) {
+    speedup_gate = "fail";
+  }
 
   // --- machine-readable summary ----------------------------------------
   {
@@ -230,13 +312,35 @@ int main(int argc, char** argv) {
     out.set("steps_per_s_serial",
             io::Json(static_cast<double>(steps) / serial.seconds));
     out.set("speedup_at_4_threads", io::Json(speedup_at_4));
+    out.set("speedup_gate", io::Json(speedup_gate));
+    out.set("hw_threads", io::Json(static_cast<std::size_t>(hw_threads)));
     out.set("search_s_serial", io::Json(search_serial.seconds));
     out.set("search_s_4_threads", io::Json(search_parallel.seconds));
+    out.set("search_s_planned", io::Json(search_planned.seconds));
     out.set("bit_identical", io::Json(identical));
+    // Plan-compiler telemetry of the planned leg (RunHealth counters).
+    out.set("plan_hits", io::Json(static_cast<std::size_t>(
+                             search_planned.health.plan_hits)));
+    out.set("plan_misses", io::Json(static_cast<std::size_t>(
+                               search_planned.health.plan_misses)));
+    out.set("plan_compiles", io::Json(static_cast<std::size_t>(
+                                 search_planned.health.plan_compiles)));
+    out.set("plan_fused_ops", io::Json(static_cast<std::size_t>(
+                                  search_planned.health.plan_fused_ops)));
+    out.set("plan_arena_bytes", io::Json(static_cast<std::size_t>(
+                                    search_planned.health.plan_arena_bytes)));
+    // Cumulative pool counters (whole process, cold discovery included)
+    // plus the warmed steady-state window measured above — the cumulative
+    // miss count scales with workload size and says nothing about leaks;
+    // the steady window is the real property.
     const nn::PoolStats pool = nn::TensorPool::global_stats();
     out.set("pool_hit_rate", io::Json(pool.buffer_hit_rate()));
     out.set("pool_misses",
             io::Json(static_cast<std::size_t>(pool.buffer_misses)));
+    out.set("pool_steady_misses",
+            io::Json(static_cast<std::size_t>(pool_steady.buffer_misses)));
+    out.set("pool_steady_hit_rate", io::Json(pool_steady.buffer_hit_rate()));
+    out.set("pool_steady_zero_miss", io::Json(pool_steady.buffer_misses == 0));
     // ru_maxrss is KiB on Linux.
     out.set("peak_rss_bytes",
             io::Json(static_cast<std::size_t>(usage.ru_maxrss) * 1024));
@@ -246,18 +350,26 @@ int main(int argc, char** argv) {
 
   // --- verdict ---------------------------------------------------------
   if (!identical) {
-    std::printf("\nFAIL: threaded results are not bit-identical to "
-                "serial\n");
+    std::printf("\nFAIL: parallel/planned/repeat results are not "
+                "bit-identical to serial\n");
     return 1;
   }
-  std::printf("\ndeterminism: all threaded runs bit-identical to serial\n");
+  std::printf("\ndeterminism: all measured runs bit-identical to serial\n");
 
-  const unsigned hw_threads = std::thread::hardware_concurrency();
-  if (smoke) {
+  if (pool_steady.buffer_misses != 0) {
+    std::printf("FAIL: %llu pool misses during the warmed repeat search "
+                "(steady state must be all hits)\n",
+                static_cast<unsigned long long>(pool_steady.buffer_misses));
+    return 1;
+  }
+  std::printf("steady-state pool: zero misses over the warmed repeat "
+              "search\n");
+
+  if (std::strcmp(speedup_gate, "skipped_smoke") == 0) {
     std::printf("speedup gate: SKIPPED (smoke mode)\n");
     return 0;
   }
-  if (hw_threads < 4) {
+  if (std::strcmp(speedup_gate, "skipped_low_core") == 0) {
     std::printf(
         "speedup gate: SKIPPED (%u hardware thread(s); a 4-lane run "
         "cannot beat serial on this machine)\n",
@@ -266,7 +378,7 @@ int main(int argc, char** argv) {
   }
   std::printf("speedup at 4 threads: %.2fx (required >= 2.0x)\n",
               speedup_at_4);
-  if (speedup_at_4 < 2.0) {
+  if (std::strcmp(speedup_gate, "fail") == 0) {
     std::printf("FAIL: parallel speedup below 2x\n");
     return 1;
   }

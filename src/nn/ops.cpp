@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/plan.hpp"
 #include "util/check.hpp"
 
 namespace lightnas::nn::ops {
@@ -29,11 +30,15 @@ VarPtr matmul(const VarPtr& a, const VarPtr& b) {
                  "ops::matmul: " + a->value.shape_string() + " * " +
                      b->value.shape_string());
   Tensor out = lightnas::nn::matmul(a->value, b->value);
-  return make_node(std::move(out), {a, b}, [a, b](Var& node) {
+  VarPtr node = make_node(std::move(out), {a, b}, [a, b](Var& node) {
     // dL/dA = dL/dC * B^T ; dL/dB = A^T * dL/dC
     accumulate(a, matmul_nt(node.grad, b->value));
     accumulate(b, matmul_tn(a->value, node.grad));
   });
+  if (plan::detail::recording_active()) {
+    plan::detail::record_op(node, plan::OpKind::kMatmul, a, &b, 0.0);
+  }
+  return node;
 }
 
 VarPtr add(const VarPtr& a, const VarPtr& b) {
@@ -42,10 +47,14 @@ VarPtr add(const VarPtr& a, const VarPtr& b) {
                      b->value.shape_string());
   Tensor out = a->value;
   out.add_inplace(b->value);
-  return make_node(std::move(out), {a, b}, [a, b](Var& node) {
+  VarPtr node = make_node(std::move(out), {a, b}, [a, b](Var& node) {
     accumulate(a, node.grad);
     accumulate(b, node.grad);
   });
+  if (plan::detail::recording_active()) {
+    plan::detail::record_op(node, plan::OpKind::kAdd, a, &b, 0.0);
+  }
+  return node;
 }
 
 VarPtr sub(const VarPtr& a, const VarPtr& b) {
@@ -85,7 +94,7 @@ VarPtr add_bias(const VarPtr& x, const VarPtr& bias) {
                      bias->value.shape_string());
   Tensor out = x->value;
   out.add_row_inplace(bias->value);
-  return make_node(std::move(out), {x, bias}, [x, bias](Var& node) {
+  VarPtr node = make_node(std::move(out), {x, bias}, [x, bias](Var& node) {
     accumulate(x, node.grad);
     Tensor gb = Tensor::zeros(1, node.grad.cols());
     for (std::size_t r = 0; r < node.grad.rows(); ++r) {
@@ -95,16 +104,24 @@ VarPtr add_bias(const VarPtr& x, const VarPtr& bias) {
     }
     accumulate(bias, gb);
   });
+  if (plan::detail::recording_active()) {
+    plan::detail::record_op(node, plan::OpKind::kAddBias, x, &bias, 0.0);
+  }
+  return node;
 }
 
 VarPtr scale(const VarPtr& x, double factor) {
   Tensor out = x->value;
   out.scale_inplace(static_cast<float>(factor));
-  return make_node(std::move(out), {x}, [x, factor](Var& node) {
+  VarPtr node = make_node(std::move(out), {x}, [x, factor](Var& node) {
     Tensor g = node.grad;
     g.scale_inplace(static_cast<float>(factor));
     accumulate(x, g);
   });
+  if (plan::detail::recording_active()) {
+    plan::detail::record_op(node, plan::OpKind::kScale, x, nullptr, factor);
+  }
+  return node;
 }
 
 VarPtr add_scalar(const VarPtr& x, double constant) {
@@ -112,9 +129,14 @@ VarPtr add_scalar(const VarPtr& x, double constant) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] += static_cast<float>(constant);
   }
-  return make_node(std::move(out), {x}, [x](Var& node) {
+  VarPtr node = make_node(std::move(out), {x}, [x](Var& node) {
     accumulate(x, node.grad);
   });
+  if (plan::detail::recording_active()) {
+    plan::detail::record_op(node, plan::OpKind::kAddScalar, x, nullptr,
+                            constant);
+  }
+  return node;
 }
 
 VarPtr mul_scalar(const VarPtr& x, const VarPtr& scalar) {
@@ -139,13 +161,17 @@ VarPtr mul_scalar(const VarPtr& x, const VarPtr& scalar) {
 VarPtr relu(const VarPtr& x) {
   Tensor out = x->value;
   out.relu_inplace();
-  return make_node(std::move(out), {x}, [x](Var& node) {
+  VarPtr node = make_node(std::move(out), {x}, [x](Var& node) {
     Tensor g = node.grad;
     for (std::size_t i = 0; i < g.size(); ++i) {
       if (x->value[i] <= 0.0f) g[i] = 0.0f;
     }
     accumulate(x, g);
   });
+  if (plan::detail::recording_active()) {
+    plan::detail::record_op(node, plan::OpKind::kRelu, x, nullptr, 0.0);
+  }
+  return node;
 }
 
 VarPtr sigmoid(const VarPtr& x) {
@@ -346,8 +372,8 @@ VarPtr softmax_cross_entropy(const VarPtr& logits,
   Tensor out = Tensor::scalar(
       static_cast<float>(total_loss / static_cast<double>(batch)));
 
-  return make_node(std::move(out), {logits},
-                   [logits, probs, labels = labels](Var& node) {
+  VarPtr node = make_node(std::move(out), {logits},
+                          [logits, probs, labels = labels](Var& node) {
     const float g = node.grad.item() /
                     static_cast<float>(logits->value.rows());
     Tensor gx = probs;
@@ -357,6 +383,11 @@ VarPtr softmax_cross_entropy(const VarPtr& logits,
     gx.scale_inplace(g);
     accumulate(logits, gx);
   });
+  if (plan::detail::recording_active()) {
+    plan::detail::record_op(node, plan::OpKind::kSoftmaxCE, logits, nullptr,
+                            0.0);
+  }
+  return node;
 }
 
 VarPtr mse_loss(const VarPtr& pred, const VarPtr& target) {

@@ -50,6 +50,30 @@ double clip_grad_norm(const std::vector<VarPtr>& params, double max_norm) {
   return norm;
 }
 
+double clip_grad_norm_on(const std::vector<VarPtr>& params,
+                         const std::vector<std::uint32_t>& active,
+                         double max_norm) {
+  // Same accumulation order as the dense walk with the zero terms
+  // skipped: +0.0 never changes the accumulator, so the norm (and the
+  // clip decision) is bit-equal as long as inactive grads really are
+  // zero.
+  double norm_sq = 0.0;
+  for (const std::uint32_t i : active) {
+    Var& p = *params[i];
+    p.ensure_grad();
+    for (std::size_t j = 0; j < p.grad.size(); ++j) {
+      norm_sq += static_cast<double>(p.grad[j]) *
+                 static_cast<double>(p.grad[j]);
+    }
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (max_norm > 0.0 && norm > max_norm) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (const std::uint32_t i : active) params[i]->grad.scale_inplace(scale);
+  }
+  return norm;
+}
+
 Sgd::Sgd(std::vector<VarPtr> params, double lr, double momentum,
          double weight_decay, double clip_norm)
     : params_(std::move(params)),
@@ -63,21 +87,116 @@ Sgd::Sgd(std::vector<VarPtr> params, double lr, double momentum,
   }
 }
 
+namespace {
+
+// The SGD update, fused into one pass per parameter: no pooled scratch
+// copy of the gradient, one read/modify/write of velocity and value.
+// Each branch runs, per element, the exact op chain the unfused
+// formulation ran (g' = g + wd*w rounded once; v' = mom*v + g' in two
+// roundings; w' = w + (-lr)*v'), so trajectories are deterministic and
+// shared by every caller. The `nograd` variants are the same chains
+// with the gradient pinned to +0.0f — used by step_on for parameters
+// whose gradient is identically zero, where skipping the read is
+// exact. This file is compiled with -ffp-contract=off (see
+// src/nn/CMakeLists.txt) so the grad and nograd loops cannot be
+// FMA-contracted differently; the step()/step_on() bit-identity
+// contract depends on that.
+
+void sgd_update(float* w, float* v, const float* g, std::size_t n,
+                bool use_wd, float wd, bool use_mom, float mom, float nlr) {
+  if (use_mom) {
+    if (use_wd) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float gj = g[j] + wd * w[j];
+        const float vj = mom * v[j] + gj;
+        v[j] = vj;
+        w[j] += nlr * vj;
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float vj = mom * v[j] + g[j];
+        v[j] = vj;
+        w[j] += nlr * vj;
+      }
+    }
+  } else {
+    if (use_wd) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float gj = g[j] + wd * w[j];
+        w[j] += nlr * gj;
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        w[j] += nlr * g[j];
+      }
+    }
+  }
+}
+
+void sgd_update_nograd(float* w, float* v, std::size_t n, bool use_wd,
+                       float wd, bool use_mom, float mom, float nlr) {
+  if (use_mom) {
+    if (use_wd) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float gj = 0.0f + wd * w[j];
+        const float vj = mom * v[j] + gj;
+        v[j] = vj;
+        w[j] += nlr * vj;
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float vj = mom * v[j] + 0.0f;
+        v[j] = vj;
+        w[j] += nlr * vj;
+      }
+    }
+  } else if (use_wd) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float gj = 0.0f + wd * w[j];
+      w[j] += nlr * gj;
+    }
+  }
+  // use_mom == use_wd == false: w += (-lr)*0.0f leaves every element
+  // bit-unchanged (+0 stays +0, -0 stays -0) — nothing to do.
+}
+
+}  // namespace
+
 void Sgd::step() {
   if (clip_norm_ > 0.0) clip_grad_norm(params_, clip_norm_);
+  const bool use_wd = weight_decay_ != 0.0;
+  const bool use_mom = momentum_ != 0.0;
+  const auto wd = static_cast<float>(weight_decay_);
+  const auto mom = static_cast<float>(momentum_);
+  const auto nlr = static_cast<float>(-lr_);
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Var& p = *params_[i];
     p.ensure_grad();
-    Tensor g = p.grad;
-    if (weight_decay_ != 0.0) {
-      g.axpy_inplace(static_cast<float>(weight_decay_), p.value);
-    }
-    if (momentum_ != 0.0) {
-      velocity_[i].scale_inplace(static_cast<float>(momentum_));
-      velocity_[i].add_inplace(g);
-      p.value.axpy_inplace(static_cast<float>(-lr_), velocity_[i]);
+    sgd_update(p.value.data().data(), velocity_[i].data().data(),
+               p.grad.data().data(), p.value.size(), use_wd, wd, use_mom,
+               mom, nlr);
+  }
+}
+
+void Sgd::step_on(const std::vector<std::uint32_t>& active) {
+  if (clip_norm_ > 0.0) clip_grad_norm_on(params_, active, clip_norm_);
+  const bool use_wd = weight_decay_ != 0.0;
+  const bool use_mom = momentum_ != 0.0;
+  const auto wd = static_cast<float>(weight_decay_);
+  const auto mom = static_cast<float>(momentum_);
+  const auto nlr = static_cast<float>(-lr_);
+  std::size_t next_active = 0;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Var& p = *params_[i];
+    if (next_active < active.size() && active[next_active] == i) {
+      ++next_active;
+      p.ensure_grad();
+      sgd_update(p.value.data().data(), velocity_[i].data().data(),
+                 p.grad.data().data(), p.value.size(), use_wd, wd, use_mom,
+                 mom, nlr);
     } else {
-      p.value.axpy_inplace(static_cast<float>(-lr_), g);
+      sgd_update_nograd(p.value.data().data(), velocity_[i].data().data(),
+                        p.value.size(), use_wd, wd, use_mom, mom, nlr);
     }
   }
 }

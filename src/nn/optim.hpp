@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "nn/autograd.hpp"
@@ -28,6 +29,16 @@ class CosineSchedule {
 /// `max_norm`; returns the pre-clip norm. No-op when max_norm <= 0.
 double clip_grad_norm(const std::vector<VarPtr>& params, double max_norm);
 
+/// clip_grad_norm restricted to the ascending-index subset `active` of
+/// `params`. Bit-identical to the dense call whenever every parameter
+/// outside `active` holds an exactly-zero (or never-allocated)
+/// gradient: zero terms contribute +0.0 to the norm accumulator, and
+/// rescaling a zero gradient is a no-op. The caller owns that
+/// precondition (see Sgd::step_on).
+double clip_grad_norm_on(const std::vector<VarPtr>& params,
+                         const std::vector<std::uint32_t>& active,
+                         double max_norm);
+
 /// SGD with momentum and decoupled weight decay (the paper's optimizer
 /// for supernet weights w: lr 0.1 cosine, momentum 0.9, wd 3e-5).
 /// `clip_norm` > 0 enables global-norm gradient clipping before the
@@ -44,6 +55,19 @@ class Sgd {
       double weight_decay = 0.0, double clip_norm = 0.0);
 
   void step();
+
+  /// Sparse variant of step() for supernet-style training where one
+  /// step's backward reaches only a small subset of the parameters:
+  /// `active` lists, in ascending order, the indices of parameters
+  /// whose gradients may be nonzero; every other parameter MUST hold an
+  /// all-zero (or never-allocated) gradient. Weight decay and momentum
+  /// still apply to every parameter each step — only the gradient
+  /// reads (clip norm + update) are skipped, which is exact because a
+  /// zero gradient contributes +0.0 to the norm and +0.0 to the
+  /// velocity. Bit-identical to step(); optim.cpp is compiled with
+  /// -ffp-contract=off so both element loops round identically.
+  void step_on(const std::vector<std::uint32_t>& active);
+
   void zero_grad();
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }

@@ -197,20 +197,7 @@ void Tensor::add_row_inplace(const Tensor& row, const ParallelContext& ctx) {
   LIGHTNAS_CHECK(row.rows() == 1 && row.cols() == cols_,
                  "add_row_inplace: " + shape_string() + " += row " +
                      row.shape_string());
-  const float* bias = row.data_.data();
-  const std::size_t cols = cols_;
-  float* data = data_.data();
-  const auto body = [data, bias, cols](std::size_t r0, std::size_t r1) {
-    for (std::size_t r = r0; r < r1; ++r) {
-      float* out = data + r * cols;
-      for (std::size_t c = 0; c < cols; ++c) out[c] += bias[c];
-    }
-  };
-  if (ctx.should_parallelize(rows_, size())) {
-    ctx.for_rows(rows_, body);
-  } else {
-    body(0, rows_);
-  }
+  add_row_into(data_.data(), row.data_.data(), rows_, cols_, ctx);
 }
 
 void Tensor::relu_inplace() {
@@ -241,30 +228,7 @@ void Tensor::add_row_relu_inplace(const Tensor& row,
   LIGHTNAS_CHECK(row.rows() == 1 && row.cols() == cols_,
                  "add_row_relu_inplace: " + shape_string() + " += row " +
                      row.shape_string());
-  const float* bias = row.data_.data();
-  const std::size_t cols = cols_;
-  float* data = data_.data();
-  // ISA resolved once per call so every row chunk of one dispatch uses
-  // the same kernel. Both tiers compute max(v + bias, 0) with one
-  // rounding per element — bit-identical by construction.
-  const bool vec = simd::active_isa() != simd::IsaLevel::kScalar;
-  const auto body = [data, bias, cols, vec](std::size_t r0, std::size_t r1) {
-    if (vec) {
-      simd::add_row_relu_rows_avx2(data, bias, cols, r0, r1);
-      return;
-    }
-    for (std::size_t r = r0; r < r1; ++r) {
-      float* out = data + r * cols;
-      for (std::size_t c = 0; c < cols; ++c) {
-        out[c] = std::max(out[c] + bias[c], 0.0f);
-      }
-    }
-  };
-  if (ctx.should_parallelize(rows_, size())) {
-    ctx.for_rows(rows_, body);
-  } else {
-    body(0, rows_);
-  }
+  add_row_relu_into(data_.data(), row.data_.data(), rows_, cols_, ctx);
 }
 
 Tensor Tensor::reshaped(std::size_t rows, std::size_t cols) const {
@@ -311,8 +275,6 @@ std::string Tensor::shape_string() const {
   return oss.str();
 }
 
-namespace {
-
 // ---------------------------------------------------------------------
 // Blocked GEMM kernels.
 //
@@ -341,9 +303,9 @@ namespace {
 
 /// C(r0..r1, :) = A(r0..r1, :) * B for row-major A (m x k), B (k x n).
 /// Fully overwrites the row range; C may start uninitialized (k >= 1).
-void matmul_rows(const float* a, const float* b, float* c, std::size_t k,
-                 std::size_t n, std::size_t r0, std::size_t r1,
-                 std::size_t kc) {
+void matmul_rows_scalar(const float* a, const float* b, float* c,
+                        std::size_t k, std::size_t n, std::size_t r0,
+                        std::size_t r1, std::size_t kc) {
   for (std::size_t pb = 0; pb < k; pb += kc) {
     const std::size_t pe = std::min(pb + kc, k);
     for (std::size_t i = r0; i < r1; ++i) {
@@ -393,9 +355,9 @@ void matmul_rows(const float* a, const float* b, float* c, std::size_t k,
 /// C(i0..i1, :) = A^T(i0..i1, :) * B for row-major A (k x m), B (k x n);
 /// row i of C reads column i of A (stride m). Fully overwrites the row
 /// range; C may start uninitialized (k >= 1).
-void matmul_tn_rows(const float* a, const float* b, float* c,
-                    std::size_t k, std::size_t m, std::size_t n,
-                    std::size_t i0, std::size_t i1, std::size_t kc) {
+void matmul_tn_rows_scalar(const float* a, const float* b, float* c,
+                           std::size_t k, std::size_t m, std::size_t n,
+                           std::size_t i0, std::size_t i1, std::size_t kc) {
   for (std::size_t pb = 0; pb < k; pb += kc) {
     const std::size_t pe = std::min(pb + kc, k);
     for (std::size_t i = i0; i < i1; ++i) {
@@ -442,9 +404,9 @@ void matmul_tn_rows(const float* a, const float* b, float* c,
 /// C(r0..r1, :) = A(r0..r1, :) * B^T for row-major A (m x k), B (n x k).
 /// Four independent dot accumulators per j-tile; each is its own
 /// ascending-p chain, so per-element order matches the naive dot.
-void matmul_nt_rows(const float* a, const float* b, float* c,
-                    std::size_t k, std::size_t n, std::size_t r0,
-                    std::size_t r1) {
+void matmul_nt_rows_scalar(const float* a, const float* b, float* c,
+                           std::size_t k, std::size_t n, std::size_t r0,
+                           std::size_t r1) {
   for (std::size_t i = r0; i < r1; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
@@ -476,7 +438,116 @@ void matmul_nt_rows(const float* a, const float* b, float* c,
   }
 }
 
-}  // namespace
+void matmul_into(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n, const ParallelContext& ctx) {
+  if (k == 0) {  // no k-blocks: the kernel never writes C
+    std::fill(c, c + m * n, 0.0f);
+    return;
+  }
+  const std::size_t kc = ctx.block();
+  // ISA resolved once per call, before any row partitioning, so every
+  // chunk of one dispatch runs the same kernel tier (see simd.hpp).
+  const simd::IsaLevel isa = simd::active_isa();
+  const bool fma = isa == simd::IsaLevel::kAvx2Fma;
+  const auto body = [a, b, c, k, n, kc, isa,
+                     fma](std::size_t r0, std::size_t r1) {
+    if (isa != simd::IsaLevel::kScalar) {
+      simd::matmul_rows_avx2(a, b, c, k, n, r0, r1, kc, fma);
+    } else {
+      matmul_rows_scalar(a, b, c, k, n, r0, r1, kc);
+    }
+  };
+  if (ctx.should_parallelize(m, 2 * m * k * n)) {
+    ctx.for_rows(m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+void matmul_tn_into(const float* a, const float* b, float* c, std::size_t k,
+                    std::size_t m, std::size_t n, const ParallelContext& ctx) {
+  if (k == 0) {  // no k-blocks: the kernel never writes C
+    std::fill(c, c + m * n, 0.0f);
+    return;
+  }
+  const std::size_t kc = ctx.block();
+  const simd::IsaLevel isa = simd::active_isa();
+  const bool fma = isa == simd::IsaLevel::kAvx2Fma;
+  const auto body = [a, b, c, k, m, n, kc, isa,
+                     fma](std::size_t i0, std::size_t i1) {
+    if (isa != simd::IsaLevel::kScalar) {
+      simd::matmul_tn_rows_avx2(a, b, c, k, m, n, i0, i1, kc, fma);
+    } else {
+      matmul_tn_rows_scalar(a, b, c, k, m, n, i0, i1, kc);
+    }
+  };
+  if (ctx.should_parallelize(m, 2 * m * k * n)) {
+    ctx.for_rows(m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+void matmul_nt_into(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t k, std::size_t n, const ParallelContext& ctx) {
+  // The NT kernel assigns every element (dot accumulators start at 0),
+  // so the output never needs a pre-fill, even for k == 0.
+  const simd::IsaLevel isa = simd::active_isa();
+  const bool fma = isa == simd::IsaLevel::kAvx2Fma;
+  const auto body = [a, b, c, k, n, isa,
+                     fma](std::size_t r0, std::size_t r1) {
+    if (isa != simd::IsaLevel::kScalar) {
+      simd::matmul_nt_rows_avx2(a, b, c, k, n, r0, r1, fma);
+    } else {
+      matmul_nt_rows_scalar(a, b, c, k, n, r0, r1);
+    }
+  };
+  if (ctx.should_parallelize(m, 2 * m * k * n)) {
+    ctx.for_rows(m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+void add_row_into(float* data, const float* bias, std::size_t rows,
+                  std::size_t cols, const ParallelContext& ctx) {
+  const auto body = [data, bias, cols](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* out = data + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) out[c] += bias[c];
+    }
+  };
+  if (ctx.should_parallelize(rows, rows * cols)) {
+    ctx.for_rows(rows, body);
+  } else {
+    body(0, rows);
+  }
+}
+
+void add_row_relu_into(float* data, const float* bias, std::size_t rows,
+                       std::size_t cols, const ParallelContext& ctx) {
+  // ISA resolved once per call so every row chunk of one dispatch uses
+  // the same kernel. Both tiers compute max(v + bias, 0) with one
+  // rounding per element — bit-identical by construction.
+  const bool vec = simd::active_isa() != simd::IsaLevel::kScalar;
+  const auto body = [data, bias, cols, vec](std::size_t r0, std::size_t r1) {
+    if (vec) {
+      simd::add_row_relu_rows_avx2(data, bias, cols, r0, r1);
+      return;
+    }
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* out = data + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) {
+        out[c] = std::max(out[c] + bias[c], 0.0f);
+      }
+    }
+  };
+  if (ctx.should_parallelize(rows, rows * cols)) {
+    ctx.for_rows(rows, body);
+  } else {
+    body(0, rows);
+  }
+}
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   return matmul(a, b, ParallelContext::current());
@@ -486,32 +557,8 @@ Tensor matmul(const Tensor& a, const Tensor& b, const ParallelContext& ctx) {
   LIGHTNAS_CHECK(a.cols() == b.rows(),
                  "matmul: " + a.shape_string() + " * " + b.shape_string());
   Tensor c = Tensor::uninitialized(a.rows(), b.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (k == 0) {  // no k-blocks: the kernel never writes C
-    c.fill(0.0f);
-    return c;
-  }
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  const std::size_t kc = ctx.block();
-  // ISA resolved once per call, before any row partitioning, so every
-  // chunk of one dispatch runs the same kernel tier (see simd.hpp).
-  const simd::IsaLevel isa = simd::active_isa();
-  const bool fma = isa == simd::IsaLevel::kAvx2Fma;
-  const auto body = [pa, pb, pc, k, n, kc, isa,
-                     fma](std::size_t r0, std::size_t r1) {
-    if (isa != simd::IsaLevel::kScalar) {
-      simd::matmul_rows_avx2(pa, pb, pc, k, n, r0, r1, kc, fma);
-    } else {
-      matmul_rows(pa, pb, pc, k, n, r0, r1, kc);
-    }
-  };
-  if (ctx.should_parallelize(m, 2 * m * k * n)) {
-    ctx.for_rows(m, body);
-  } else {
-    body(0, m);
-  }
+  matmul_into(a.data().data(), b.data().data(), c.data().data(), a.rows(),
+              a.cols(), b.cols(), ctx);
   return c;
 }
 
@@ -524,30 +571,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b,
   LIGHTNAS_CHECK(a.rows() == b.rows(), "matmul_tn: " + a.shape_string() +
                                            "^T * " + b.shape_string());
   Tensor c = Tensor::uninitialized(a.cols(), b.cols());
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  if (k == 0) {  // no k-blocks: the kernel never writes C
-    c.fill(0.0f);
-    return c;
-  }
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  const std::size_t kc = ctx.block();
-  const simd::IsaLevel isa = simd::active_isa();
-  const bool fma = isa == simd::IsaLevel::kAvx2Fma;
-  const auto body = [pa, pb, pc, k, m, n, kc, isa,
-                     fma](std::size_t i0, std::size_t i1) {
-    if (isa != simd::IsaLevel::kScalar) {
-      simd::matmul_tn_rows_avx2(pa, pb, pc, k, m, n, i0, i1, kc, fma);
-    } else {
-      matmul_tn_rows(pa, pb, pc, k, m, n, i0, i1, kc);
-    }
-  };
-  if (ctx.should_parallelize(m, 2 * m * k * n)) {
-    ctx.for_rows(m, body);
-  } else {
-    body(0, m);
-  }
+  matmul_tn_into(a.data().data(), b.data().data(), c.data().data(), a.rows(),
+                 a.cols(), b.cols(), ctx);
   return c;
 }
 
@@ -559,28 +584,9 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b,
                  const ParallelContext& ctx) {
   LIGHTNAS_CHECK(a.cols() == b.cols(), "matmul_nt: " + a.shape_string() +
                                            " * " + b.shape_string() + "^T");
-  // The NT kernel assigns every element (dot accumulators start at 0),
-  // so the output never needs a pre-fill, even for k == 0.
   Tensor c = Tensor::uninitialized(a.rows(), b.rows());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  const simd::IsaLevel isa = simd::active_isa();
-  const bool fma = isa == simd::IsaLevel::kAvx2Fma;
-  const auto body = [pa, pb, pc, k, n, isa,
-                     fma](std::size_t r0, std::size_t r1) {
-    if (isa != simd::IsaLevel::kScalar) {
-      simd::matmul_nt_rows_avx2(pa, pb, pc, k, n, r0, r1, fma);
-    } else {
-      matmul_nt_rows(pa, pb, pc, k, n, r0, r1);
-    }
-  };
-  if (ctx.should_parallelize(m, 2 * m * k * n)) {
-    ctx.for_rows(m, body);
-  } else {
-    body(0, m);
-  }
+  matmul_nt_into(a.data().data(), b.data().data(), c.data().data(), a.rows(),
+                 a.cols(), b.rows(), ctx);
   return c;
 }
 

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "nn/autograd.hpp"
 #include "nn/optim.hpp"
+#include "util/rng.hpp"
 
 namespace lightnas::nn {
 namespace {
@@ -82,6 +84,78 @@ TEST(ClipGradNorm, NoOpBelowThreshold) {
   VarPtr a = leaf_with_grad(0.0f, 0.3f);
   clip_grad_norm({a}, 1.0);
   EXPECT_FLOAT_EQ(a->grad.item(), 0.3f);
+}
+
+TEST(Sgd, SparseStepIsBitIdenticalToDense) {
+  // step_on's contract: when every parameter outside `active` holds an
+  // exactly-zero gradient, the sparse walk (which never reads those
+  // gradients) must reproduce the dense walk bit for bit — weights AND
+  // velocity — including the clipped-norm rescale.
+  util::Rng rng(77);
+  const std::vector<std::uint32_t> active = {1, 3, 4};
+  const auto build = [&](std::uint64_t seed) {
+    util::Rng r(seed);
+    std::vector<VarPtr> params;
+    for (int i = 0; i < 6; ++i) {
+      Tensor t = Tensor::uninitialized(3, 5);
+      for (std::size_t j = 0; j < t.size(); ++j) {
+        t[j] = static_cast<float>(r.normal(0.0, 1.0));
+      }
+      params.push_back(make_leaf(std::move(t)));
+    }
+    return params;
+  };
+  std::vector<VarPtr> dense_params = build(11);
+  std::vector<VarPtr> sparse_params = build(11);
+  Sgd dense(dense_params, 0.05, 0.9, 3e-5, /*clip_norm=*/0.1);
+  Sgd sparse(sparse_params, 0.05, 0.9, 3e-5, /*clip_norm=*/0.1);
+  for (int step = 0; step < 25; ++step) {
+    for (const std::uint32_t i : active) {
+      Tensor g = Tensor::uninitialized(3, 5);
+      for (std::size_t j = 0; j < g.size(); ++j) {
+        g[j] = static_cast<float>(rng.normal(0.0, 2.0));
+      }
+      dense_params[i]->ensure_grad();
+      sparse_params[i]->ensure_grad();
+      dense_params[i]->grad = g;
+      sparse_params[i]->grad = g;
+    }
+    dense.step();
+    sparse.step_on(active);
+    for (const std::uint32_t i : active) {
+      dense_params[i]->zero_grad();
+      sparse_params[i]->zero_grad();
+    }
+  }
+  const Sgd::State dense_state = dense.export_state();
+  const Sgd::State sparse_state = sparse.export_state();
+  for (std::size_t i = 0; i < dense_params.size(); ++i) {
+    const Tensor& dw = dense_params[i]->value;
+    const Tensor& sw = sparse_params[i]->value;
+    ASSERT_EQ(0, std::memcmp(dw.data().data(), sw.data().data(),
+                             dw.size() * sizeof(float)))
+        << "weights diverged at param " << i;
+    const Tensor& dv = dense_state.velocity[i];
+    const Tensor& sv = sparse_state.velocity[i];
+    ASSERT_EQ(0, std::memcmp(dv.data().data(), sv.data().data(),
+                             dv.size() * sizeof(float)))
+        << "velocity diverged at param " << i;
+  }
+}
+
+TEST(ClipGradNorm, SubsetMatchesDenseWhenOthersAreZero) {
+  VarPtr a = leaf_with_grad(0.0f, 3.0f);
+  VarPtr zero = leaf_with_grad(0.0f, 0.0f);
+  VarPtr b = leaf_with_grad(0.0f, 4.0f);
+  VarPtr a2 = leaf_with_grad(0.0f, 3.0f);
+  VarPtr zero2 = leaf_with_grad(0.0f, 0.0f);
+  VarPtr b2 = leaf_with_grad(0.0f, 4.0f);
+  const double dense = clip_grad_norm({a, zero, b}, 1.0);
+  const double sparse = clip_grad_norm_on({a2, zero2, b2}, {0, 2}, 1.0);
+  EXPECT_EQ(dense, sparse);
+  EXPECT_FLOAT_EQ(a->grad.item(), a2->grad.item());
+  EXPECT_FLOAT_EQ(b->grad.item(), b2->grad.item());
+  EXPECT_FLOAT_EQ(zero2->grad.item(), 0.0f);
 }
 
 TEST(Adam, FirstStepMagnitudeIsLr) {
